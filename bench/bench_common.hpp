@@ -1,0 +1,61 @@
+// Shared helpers for the paper-artifact bench harnesses.
+//
+// Every harness accepts:
+//   --scale <f>   iteration-count multiplier (default 1.0 = paper-size runs)
+//   --seed <n>    workload seed (default 42)
+//   --csv         additionally emit CSV blocks for plotting
+// and prints aligned tables whose rows mirror the corresponding paper
+// figure/table.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "eval/evaluation.hpp"
+#include "eval/workloads.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace tracered::bench {
+
+struct BenchOptions {
+  eval::WorkloadOptions workload;
+  bool csv = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    CliArgs args(argc, argv);
+    BenchOptions opts;
+    opts.workload.scale = args.getDouble("scale", 1.0);
+    opts.workload.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+    opts.csv = args.getBool("csv", false);
+    return opts;
+  }
+};
+
+/// Per-run cache so a harness evaluating many methods on one workload only
+/// generates and prepares each trace once.
+class TraceCache {
+ public:
+  explicit TraceCache(const eval::WorkloadOptions& opts) : opts_(opts) {}
+
+  const eval::PreparedTrace& get(const std::string& name) {
+    auto it = cache_.find(name);
+    if (it == cache_.end()) {
+      std::fprintf(stderr, "[gen] %s ...\n", name.c_str());
+      it = cache_.emplace(name, eval::prepare(eval::runWorkload(name, opts_))).first;
+    }
+    return it->second;
+  }
+
+ private:
+  eval::WorkloadOptions opts_;
+  std::map<std::string, eval::PreparedTrace> cache_;
+};
+
+inline void printTable(const TextTable& t, bool csv, const std::string& title) {
+  std::printf("== %s ==\n%s\n", title.c_str(), t.str().c_str());
+  if (csv) std::printf("-- csv: %s --\n%s\n", title.c_str(), t.csv().c_str());
+}
+
+}  // namespace tracered::bench

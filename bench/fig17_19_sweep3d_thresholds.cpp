@@ -1,0 +1,37 @@
+// Figs. 17-19 reproduction: the threshold study on sweep3d_8p and
+// sweep3d_32p (file size % and approximation distance per method and
+// threshold).
+//
+// Paper shape to check against: file size decreases steadily with threshold
+// for relDiff/absDiff/Manhattan/Euclidean; Chebyshev decreases with
+// threshold; iter_k's file size rises with k and dominates everyone; for
+// Manhattan/Euclidean the approximation distance rises with threshold.
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  CliArgs args(argc, argv);
+  const std::string onlyMethod = args.get("method", "");
+  TraceCache cache(opts.workload);
+
+  for (const std::string& name : {std::string("sweep3d_8p"), std::string("sweep3d_32p")}) {
+    const eval::PreparedTrace& prepared = cache.get(name);
+    for (core::Method m : core::thresholdedMethods()) {
+      if (!onlyMethod.empty() && onlyMethod != core::methodName(m)) continue;
+      TextTable t;
+      t.header({"threshold", "file %", "degree of matching", "p90 |Δt| (µs)", "stored"});
+      for (double thr : core::studyThresholds(m)) {
+        const eval::MethodEvaluation ev = eval::evaluateMethod(prepared, m, thr);
+        t.row({fmtF(thr, thr < 1 ? 1 : 0), fmtF(ev.filePct, 2),
+               fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
+               std::to_string(ev.storedSegments)});
+      }
+      printTable(t, opts.csv,
+                 "Figs. 17-19 (" + name + ", " + core::methodName(m) + ")");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 5 reproduction: "Percentage File Sizes and Degree of Matching".
+//
+// For every program (16 ATS benchmarks + sweep3d_8p + sweep3d_32p) and every
+// similarity method at its paper-default threshold, prints the reduced trace
+// file size as a percentage of the full trace and the degree of matching.
+// Ends with the Sec. 5.2.1 average-file-size ranking.
+//
+// Paper shape to check against: iter_avg smallest everywhere; relDiff the
+// largest files / lowest matching on the benchmarks; on sweep3d iter_k worst;
+// Minkowski/wavelet methods nearly identical elsewhere.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  TraceCache cache(opts.workload);
+
+  TextTable sizes, matching;
+  std::vector<std::string> header = {"program"};
+  for (core::Method m : core::allMethods()) header.push_back(core::methodName(m));
+  sizes.header(header);
+  matching.header(header);
+
+  std::map<core::Method, double> pctSum;
+  for (const std::string& name : eval::allWorkloads()) {
+    const eval::PreparedTrace& prepared = cache.get(name);
+    std::vector<std::string> sizeRow = {name};
+    std::vector<std::string> matchRow = {name};
+    for (core::Method m : core::allMethods()) {
+      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+      sizeRow.push_back(fmtF(ev.filePct, 2));
+      matchRow.push_back(fmtF(ev.degreeOfMatching, 3));
+      pctSum[m] += ev.filePct;
+    }
+    sizes.row(std::move(sizeRow));
+    matching.row(std::move(matchRow));
+  }
+
+  printTable(sizes, opts.csv, "Fig. 5a: reduced trace size, % of full trace file");
+  printTable(matching, opts.csv, "Fig. 5b: degree of matching");
+
+  // Sec. 5.2.1 ranking by average file size across all programs.
+  std::vector<std::pair<double, core::Method>> ranking;
+  for (const auto& [m, sum] : pctSum)
+    ranking.emplace_back(sum / static_cast<double>(eval::allWorkloads().size()), m);
+  std::sort(ranking.begin(), ranking.end());
+  TextTable rank;
+  rank.header({"rank", "method", "avg file %"});
+  int i = 1;
+  for (const auto& [avg, m] : ranking)
+    rank.row({std::to_string(i++), core::methodName(m), fmtF(avg, 2)});
+  printTable(rank, opts.csv,
+             "Sec. 5.2.1: average-file-size ranking (paper: iter_avg, avgWave, "
+             "haarWave, Chebyshev, absDiff, Manhattan, Euclidean, iter_k, relDiff)");
+  return 0;
+}

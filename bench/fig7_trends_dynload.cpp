@@ -1,0 +1,49 @@
+// Fig. 7 reproduction: "KOJAK Performance Trends for dyn_load_balance For
+// Each Method at Default Thresholds".
+//
+// Shows, for the full trace and for each method's reconstructed trace, the
+// per-rank severity charts for MPI_Alltoall ("Wait at NxN") and do_work
+// (execution time): one digit per rank, scaled against the full trace.
+//
+// Paper shape to check against: the full trace shows lower ranks heavy in
+// MPI_Alltoall and upper ranks heavy in do_work; absDiff, Manhattan,
+// Euclidean, avgWave, haarWave keep the NxN disparity; iter_avg and iter_k
+// flatten it.
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  TraceCache cache(opts.workload);
+  const eval::PreparedTrace& prepared = cache.get("dyn_load_balance");
+
+  const std::vector<analysis::ChartRow> rows = {
+      {analysis::Metric::kWaitAtNxN, "MPI_Alltoall"},
+      {analysis::Metric::kExecutionTime, "do_work"},
+  };
+
+  std::printf("== Fig. 7: dyn_load_balance trend charts ==\n");
+  std::printf("(one digit per rank 0..7, scaled to the full trace's row max)\n\n");
+  std::printf("%s", analysis::renderChart(prepared.fullCube, prepared.fullCube,
+                                          prepared.trace.names(), rows, "no_loss")
+                        .c_str());
+  std::printf("\n");
+
+  TextTable verdicts;
+  verdicts.header({"method", "threshold", "verdict", "why"});
+  for (core::Method m : core::allMethods()) {
+    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+    std::printf("%s", analysis::renderChart(ev.reducedCube, prepared.fullCube,
+                                            prepared.trace.names(), rows,
+                                            core::methodName(m))
+                          .c_str());
+    verdicts.row({core::methodName(m), fmtF(ev.threshold, 1),
+                  analysis::verdictName(ev.trends.verdict), ev.trends.reason});
+  }
+  std::printf("\n");
+  printTable(verdicts, opts.csv, "Fig. 7 verdicts (comparator, Sec. 4.3.4 guidelines)");
+  return 0;
+}

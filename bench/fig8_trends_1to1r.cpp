@@ -1,0 +1,49 @@
+// Fig. 8 reproduction: "KOJAK Performance Trends for 1to1r_1024 for Each
+// Method at Default Thresholds".
+//
+// Per-rank severity charts for MPI_Ssend ("Late Receiver"), MPI_Recv
+// ("Late Sender") and do_work (execution time) on the 1to1r_1024
+// interference benchmark.
+//
+// Paper shape to check against: Manhattan, Euclidean and avgWave best,
+// followed by relDiff and haarWave; absDiff amplifies iteration variations;
+// iter_avg smooths them away.
+#include "analysis/render.hpp"
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  TraceCache cache(opts.workload);
+  const eval::PreparedTrace& prepared = cache.get("1to1r_1024");
+
+  const std::vector<analysis::ChartRow> rows = {
+      {analysis::Metric::kLateReceiver, "MPI_Ssend"},
+      {analysis::Metric::kLateSender, "MPI_Recv"},
+      {analysis::Metric::kExecutionTime, "do_work"},
+  };
+
+  std::printf("== Fig. 8: 1to1r_1024 trend charts ==\n");
+  std::printf("(one digit per rank 0..31, scaled to the full trace's row max)\n\n");
+  std::printf("%s", analysis::renderChart(prepared.fullCube, prepared.fullCube,
+                                          prepared.trace.names(), rows, "no_loss")
+                        .c_str());
+  std::printf("\n");
+
+  TextTable verdicts;
+  verdicts.header({"method", "threshold", "verdict", "why"});
+  for (core::Method m : core::allMethods()) {
+    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+    std::printf("%s", analysis::renderChart(ev.reducedCube, prepared.fullCube,
+                                            prepared.trace.names(), rows,
+                                            core::methodName(m))
+                          .c_str());
+    verdicts.row({core::methodName(m), fmtF(ev.threshold, 1),
+                  analysis::verdictName(ev.trends.verdict), ev.trends.reason});
+  }
+  std::printf("\n");
+  printTable(verdicts, opts.csv, "Fig. 8 verdicts (comparator, Sec. 4.3.4 guidelines)");
+  return 0;
+}

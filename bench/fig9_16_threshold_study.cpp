@@ -1,0 +1,57 @@
+// Figs. 9-16 reproduction: the threshold study on the 16 ATS benchmarks.
+//
+// One figure per method (relDiff, absDiff, Manhattan, Euclidean, Chebyshev,
+// iter_k, avgWave, haarWave): file size (% of full) and approximation
+// distance (µs) as the threshold sweeps the paper's values.
+//
+// Paper shape to check against: file sizes fall (iter_k: rise) monotonically
+// with threshold; approximation distance stays low until a per-method knee
+// (relDiff: after 0.8; absDiff: after 10^4; wavelets: after 0.2-0.4).
+//
+// Flags: --method <name> restricts to one method, --workload <name> to one
+// benchmark.
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  CliArgs args(argc, argv);
+  const std::string onlyMethod = args.get("method", "");
+  const std::string onlyWorkload = args.get("workload", "");
+  TraceCache cache(opts.workload);
+
+  int figure = 9;
+  for (core::Method m : core::thresholdedMethods()) {
+    if (!onlyMethod.empty() && onlyMethod != core::methodName(m)) {
+      ++figure;
+      continue;
+    }
+    TextTable sizeT, distT;
+    std::vector<std::string> header = {"benchmark"};
+    for (double t : core::studyThresholds(m)) header.push_back(fmtF(t, t < 1 ? 1 : 0));
+    sizeT.header(header);
+    distT.header(header);
+
+    for (const std::string& name : eval::benchmarkWorkloads()) {
+      if (!onlyWorkload.empty() && onlyWorkload != name) continue;
+      const eval::PreparedTrace& prepared = cache.get(name);
+      std::vector<std::string> sizeRow = {name};
+      std::vector<std::string> distRow = {name};
+      for (double t : core::studyThresholds(m)) {
+        const eval::MethodEvaluation ev = eval::evaluateMethod(prepared, m, t);
+        sizeRow.push_back(fmtF(ev.filePct, 2));
+        distRow.push_back(fmtF(ev.approxDistanceUs, 1));
+      }
+      sizeT.row(std::move(sizeRow));
+      distT.row(std::move(distRow));
+    }
+    const std::string base =
+        "Fig. " + std::to_string(figure) + " (" + core::methodName(m) + ")";
+    printTable(sizeT, opts.csv, base + ": file size % vs threshold");
+    printTable(distT, opts.csv, base + ": approximation distance (µs) vs threshold");
+    ++figure;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// google-benchmark microbenches for the core library: per-candidate cost of
+// each similarity test, reducer throughput, wavelet transform speed, trace
+// (de)serialization. These quantify the practical cost of each method — the
+// paper's methods differ not only in quality but also in the work an online
+// reducer would do per segment.
+#include <benchmark/benchmark.h>
+
+#include "core/methods.hpp"
+#include "core/reducer.hpp"
+#include "eval/workloads.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
+#include "wavelet/wavelet.hpp"
+
+namespace {
+
+using namespace tracered;
+
+/// Lazily built shared workload (late_sender at reduced scale).
+struct Fixture {
+  Trace trace;
+  SegmentedTrace segmented;
+
+  Fixture() {
+    eval::WorkloadOptions opts;
+    opts.scale = 0.3;
+    trace = eval::runWorkload("late_sender", opts);
+    segmented = segmentTrace(trace);
+  }
+};
+
+const Fixture& fix() {
+  static Fixture f;
+  return f;
+}
+
+void BM_Reduce(benchmark::State& state, core::Method method) {
+  const Fixture& f = fix();
+  const double threshold = core::defaultThreshold(method);
+  std::size_t segments = 0;
+  for (auto _ : state) {
+    auto policy = core::makePolicy(method, threshold);
+    const core::ReductionResult res =
+        core::reduceTrace(f.segmented, f.trace.names(), *policy);
+    benchmark::DoNotOptimize(res.stats.matches);
+    segments += res.stats.totalSegments;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(segments));
+}
+
+void BM_Segment(benchmark::State& state) {
+  const Fixture& f = fix();
+  for (auto _ : state) {
+    const SegmentedTrace st = segmentTrace(f.trace);
+    benchmark::DoNotOptimize(st.totalSegments());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.trace.totalRecords()));
+}
+
+void BM_SerializeFull(benchmark::State& state) {
+  const Fixture& f = fix();
+  for (auto _ : state) {
+    const auto bytes = serializeFullTrace(f.trace);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+}
+
+void BM_WaveletTransform(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i * 37 % 1000);
+  for (auto _ : state) {
+    auto t = wavelet::avgTransform(v);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Reduce, relDiff, tracered::core::Method::kRelDiff);
+BENCHMARK_CAPTURE(BM_Reduce, absDiff, tracered::core::Method::kAbsDiff);
+BENCHMARK_CAPTURE(BM_Reduce, Manhattan, tracered::core::Method::kManhattan);
+BENCHMARK_CAPTURE(BM_Reduce, Euclidean, tracered::core::Method::kEuclidean);
+BENCHMARK_CAPTURE(BM_Reduce, Chebyshev, tracered::core::Method::kChebyshev);
+BENCHMARK_CAPTURE(BM_Reduce, iter_k, tracered::core::Method::kIterK);
+BENCHMARK_CAPTURE(BM_Reduce, avgWave, tracered::core::Method::kAvgWave);
+BENCHMARK_CAPTURE(BM_Reduce, haarWave, tracered::core::Method::kHaarWave);
+BENCHMARK_CAPTURE(BM_Reduce, iter_avg, tracered::core::Method::kIterAvg);
+BENCHMARK(BM_Segment);
+BENCHMARK(BM_SerializeFull);
+BENCHMARK(BM_WaveletTransform)->Arg(8)->Arg(64)->Arg(512);

@@ -1,0 +1,80 @@
+// Tables 1-18 reproduction: "Retention of Performance Trends with Varying
+// Thresholds" — one table per program (16 ATS benchmarks + sweep3d_8p +
+// sweep3d_32p), rows = methods, columns = the paper's threshold sweep, cells
+// = the comparator verdict (retained / degraded / lost).
+//
+// Ends with the Sec. 5.2.3 per-method score at default thresholds:
+// "correctly diagnosed X of the 18 execution traces" (paper: avgWave /
+// Manhattan / Euclidean 17, haarWave 16, relDiff 14, absDiff/Chebyshev 13,
+// iter_k 12, iter_avg 6).
+//
+// Flags: --workload <name> restricts to one program.
+#include "bench_common.hpp"
+
+using namespace tracered;
+using namespace tracered::bench;
+
+namespace {
+
+const char* shortVerdict(analysis::Verdict v) {
+  switch (v) {
+    case analysis::Verdict::kRetained: return "retained";
+    case analysis::Verdict::kDegraded: return "DEGRADED";
+    case analysis::Verdict::kLost: return "LOST";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  CliArgs args(argc, argv);
+  const std::string onlyWorkload = args.get("workload", "");
+  TraceCache cache(opts.workload);
+
+  std::map<core::Method, int> correctAtDefault;
+  int tableNo = 1;
+  for (const std::string& name : eval::allWorkloads()) {
+    if (!onlyWorkload.empty() && onlyWorkload != name) {
+      ++tableNo;
+      continue;
+    }
+    const eval::PreparedTrace& prepared = cache.get(name);
+
+    TextTable t;
+    t.header({"method", "t1", "t2", "t3", "t4", "t5", "t6", "@default"});
+    for (core::Method m : core::allMethods()) {
+      std::vector<std::string> row = {core::methodName(m)};
+      const std::vector<double> thresholds = core::studyThresholds(m);
+      for (std::size_t i = 0; i < 6; ++i) {
+        if (i >= thresholds.size()) {
+          row.push_back("-");
+          continue;
+        }
+        const eval::MethodEvaluation ev =
+            eval::evaluateMethod(prepared, m, thresholds[i]);
+        row.push_back(shortVerdict(ev.trends.verdict));
+      }
+      const eval::MethodEvaluation def = eval::evaluateMethodDefault(prepared, m);
+      row.push_back(shortVerdict(def.trends.verdict));
+      if (def.trends.verdict != analysis::Verdict::kLost) ++correctAtDefault[m];
+      t.row(std::move(row));
+    }
+    printTable(t, opts.csv,
+               "Table " + std::to_string(tableNo) + ": trend retention, " + name +
+                   " (t1..t6 = the paper's threshold sweep per method)");
+    ++tableNo;
+  }
+
+  if (onlyWorkload.empty()) {
+    TextTable score;
+    score.header({"method", "correct of 18 (default thresholds)"});
+    for (core::Method m : core::allMethods())
+      score.row({core::methodName(m), std::to_string(correctAtDefault[m])});
+    printTable(score, opts.csv,
+               "Sec. 5.2.3 score (paper: avgWave/Manhattan/Euclidean 17, haarWave 16, "
+               "relDiff 14, absDiff/Chebyshev 13, iter_k 12, iter_avg 6)");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Example: the comparative study (Sec. 5.2) on any one workload, from the
+// command line:
+//
+//   ./compare_methods --workload dyn_load_balance --scale 0.5
+//
+// Prints all four criteria for all nine methods at their paper-default
+// thresholds, plus the full-vs-reduced diagnosis charts.
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "eval/evaluation.hpp"
+#include "eval/workloads.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace tracered;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string workload = args.get("workload", "dyn_load_balance");
+  eval::WorkloadOptions opts;
+  opts.scale = args.getDouble("scale", 0.5);
+  opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+
+  bool known = false;
+  for (const auto& w : eval::allWorkloads()) known |= (w == workload);
+  if (!known) {
+    std::printf("unknown workload '%s'; available:\n", workload.c_str());
+    for (const auto& w : eval::allWorkloads()) std::printf("  %s\n", w.c_str());
+    return 1;
+  }
+
+  std::printf("workload %s (scale %.2f)\n", workload.c_str(), opts.scale);
+  const eval::PreparedTrace prepared = eval::prepare(eval::runWorkload(workload, opts));
+  std::printf("full file %s, %zu segments\n\n", fmtBytes(prepared.fullBytes).c_str(),
+              prepared.segmented.totalSegments());
+  std::printf("--- full-trace diagnosis ---\n%s\n",
+              analysis::renderCube(prepared.fullCube, prepared.trace.names(), 8).c_str());
+
+  TextTable t;
+  t.header({"method", "thr", "file %", "match deg", "p90 err (us)", "trends", "why"});
+  for (core::Method m : core::allMethods()) {
+    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+    t.row({core::methodName(m), fmtF(ev.threshold, 1), fmtF(ev.filePct, 2),
+           fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
+           analysis::verdictName(ev.trends.verdict), ev.trends.reason});
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

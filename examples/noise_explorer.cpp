@@ -1,0 +1,45 @@
+// Example: visualize the ASCI-Q-style interference model (Sec. 4.1) — how
+// much CPU time the injected noise steals per rank, and how that turns a
+// perfectly balanced program into one with collective wait time.
+#include <cstdio>
+
+#include "analysis/render.hpp"
+#include "eval/evaluation.hpp"
+#include "eval/workloads.hpp"
+#include "sim/noise.hpp"
+#include "util/table.hpp"
+
+using namespace tracered;
+
+int main() {
+  // 1. Raw noise schedules.
+  const TimeUs horizon = 200 * kMillisecond;
+  TextTable t;
+  t.header({"model", "rank", "interrupts", "stolen (ms)", "stolen %"});
+  for (const bool big : {false, true}) {
+    auto noise = big ? sim::makeAsciQ1024Noise(42) : sim::makeAsciQ32Noise(42);
+    for (Rank r : {0, 1}) {
+      const auto sched = noise->schedule(r, horizon);
+      TimeUs stolen = 0;
+      for (const auto& irq : sched) stolen += irq.duration;
+      t.row({big ? "asciQ_1024" : "asciQ_32", std::to_string(r),
+             std::to_string(sched.size()), fmtF(stolen / 1000.0, 2),
+             fmtPct(100.0 * stolen / horizon, 2)});
+    }
+  }
+  std::printf("noise over a %lld ms window:\n%s\n",
+              static_cast<long long>(horizon / kMillisecond), t.str().c_str());
+
+  // 2. Effect on a balanced N-to-N benchmark.
+  eval::WorkloadOptions opts;
+  opts.scale = 0.3;
+  for (const char* name : {"NtoN_32", "NtoN_1024"}) {
+    const eval::PreparedTrace prepared = eval::prepare(eval::runWorkload(name, opts));
+    std::printf("--- %s full-trace diagnosis ---\n%s\n", name,
+                analysis::renderCube(prepared.fullCube, prepared.trace.names(), 3).c_str());
+  }
+  std::printf(
+      "The work is identical on every rank; all Wait-at-NxN severity comes\n"
+      "from uncoordinated OS interference, as on ASCI Q (Petrini et al.).\n");
+  return 0;
+}

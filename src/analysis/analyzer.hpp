@@ -1,0 +1,36 @@
+// EXPERT-like trace analyzer (Sec. 4.3.4).
+//
+// Runs KOJAK-style inefficiency-pattern detection over a segmented trace
+// (original or reconstructed — both have identical structure, so identical
+// rules apply) and fills a SeverityCube:
+//
+//   Late Sender      blocking receive entered before the matching send
+//   Late Receiver    synchronous send entered before the matching receive
+//   Early Reduce     N-to-1 root entered before the first sender
+//   Late Broadcast   1-to-N non-root entered before the root
+//   Wait at Barrier  barrier imbalance (enter-to-last-enter)
+//   Wait at NxN      other N-to-N collective imbalance
+//   Execution Time   inclusive time per (function, rank)
+//
+// Message matching replays the communication structure: point-to-point
+// events pair FIFO per (src, dst, tag) channel; collective occurrence k on
+// one rank belongs to instance k (per-rank operation order and counts are
+// preserved by reduction/reconstruction, so alignment is exact).
+#pragma once
+
+#include "analysis/severity.hpp"
+#include "trace/segment.hpp"
+
+namespace tracered::analysis {
+
+/// Analyzer tunables.
+struct AnalyzerOptions {
+  /// Include MPI_Init/MPI_Finalize synchronization in Wait-at-Barrier.
+  /// Off by default: startup skew is not a program inefficiency.
+  bool includeInitFinalize = false;
+};
+
+/// Analyzes a segmented trace and returns its severity cube.
+SeverityCube analyze(const SegmentedTrace& trace, const AnalyzerOptions& opts = {});
+
+}  // namespace tracered::analysis

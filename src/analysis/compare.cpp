@@ -1,0 +1,164 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace tracered::analysis {
+
+namespace {
+
+std::string fmtErr(double e) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", e * 100.0);
+  return buf;
+}
+
+double coefficientOfVariation(const std::vector<double>& v) {
+  const double m = mean(v);
+  if (std::fabs(m) < 1e-12) return 0.0;
+  return stddev(v) / std::fabs(m);
+}
+
+/// Shape retention between a full-trace profile and a reduced-trace profile.
+/// Asymmetric on purpose: a flat full profile has no shape to preserve
+/// (fully retained), but a reduced profile that flattened a shaped full
+/// profile lost it entirely — plain Pearson can't express that.
+double shapeCorrelation(const std::vector<double>& full,
+                        const std::vector<double>& reduced) {
+  if (coefficientOfVariation(full) <= 1e-9) return 1.0;
+  if (coefficientOfVariation(reduced) <= 1e-9) return 0.0;
+  return pearson(full, reduced);
+}
+
+void worsen(Verdict& v, Verdict atLeast) {
+  if (static_cast<int>(atLeast) > static_cast<int>(v)) v = atLeast;
+}
+
+}  // namespace
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kRetained: return "retained";
+    case Verdict::kDegraded: return "degraded";
+    case Verdict::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+TrendComparison compareTrends(const SeverityCube& full, const SeverityCube& reduced,
+                              const TrendCompareOptions& opts) {
+  TrendComparison out;
+
+  const CubeCell fullDom = full.dominantWait();
+  const CubeCell redDom = reduced.dominantWait();
+  const double fullDomTotal = fullDom.callsite == kInvalidName ? 0.0 : fullDom.total();
+
+  // Case: the full trace shows no significant problem. The reduced trace
+  // retains the trends iff it does not invent one.
+  if (fullDom.callsite == kInvalidName || fullDomTotal < opts.significanceFloorUs) {
+    out.dominantMetric = fullDom.metric;
+    out.dominantCallsite = fullDom.callsite;
+    out.fullTotal = fullDomTotal;
+    if (redDom.callsite != kInvalidName &&
+        redDom.total() > std::max(opts.significanceFloorUs, 2.0 * fullDomTotal)) {
+      out.spuriousDiagnosis = true;
+      out.verdict = Verdict::kLost;
+      out.reason = "reduced trace invents a diagnosis absent from the full trace";
+    } else {
+      out.verdict = Verdict::kRetained;
+      out.reason = "no significant problem in either trace";
+    }
+    return out;
+  }
+
+  out.dominantMetric = fullDom.metric;
+  out.dominantCallsite = fullDom.callsite;
+  out.fullTotal = fullDomTotal;
+  out.reducedTotal = reduced.total(fullDom.metric, fullDom.callsite);
+  out.relError = std::fabs(out.reducedTotal - out.fullTotal) / out.fullTotal;
+
+  Verdict verdict = Verdict::kRetained;
+  std::string reason;
+
+  // 1. Dominant diagnosis must be unchanged.
+  if (redDom.callsite != fullDom.callsite || redDom.metric != fullDom.metric) {
+    out.dominantChanged = true;
+    // If the true dominant cell is still reported with roughly the right
+    // magnitude and merely got out-ranked by a near-tie, that's a
+    // degradation rather than a loss.
+    const bool stillVisible = out.relError <= opts.severityTolerance &&
+                              redDom.total() <= 1.5 * out.reducedTotal;
+    if (stillVisible) {
+      worsen(verdict, Verdict::kDegraded);
+      reason = "dominant diagnosis out-ranked by a near-tie; ";
+    } else {
+      worsen(verdict, Verdict::kLost);
+      reason = "dominant diagnosis changed; ";
+    }
+  }
+
+  // 2. Per-rank profile shape of the dominant diagnosis.
+  const std::vector<double> redProfile =
+      reduced.profile(fullDom.metric, fullDom.callsite);
+  out.correlation = shapeCorrelation(fullDom.perRank, redProfile);
+  if (coefficientOfVariation(fullDom.perRank) > opts.cvNonUniform &&
+      out.correlation < opts.correlationMin) {
+    out.disparityLost = true;
+    worsen(verdict, Verdict::kLost);
+    reason += "per-rank disparity of the dominant diagnosis lost; ";
+  }
+
+  // 3. Severity magnitude.
+  if (out.reducedTotal < out.fullTotal * (1.0 - opts.negativeFraction)) {
+    // Cube difference (reduced - full) strongly negative: the paper's
+    // "negative severity" / white-square artifact.
+    out.negativeDiagnosis = true;
+  }
+  if (out.relError > opts.degradedTolerance) {
+    worsen(verdict, Verdict::kLost);
+    reason += "dominant severity off by " + fmtErr(out.relError) + "; ";
+  } else if (out.relError > opts.severityTolerance) {
+    worsen(verdict, Verdict::kDegraded);
+    reason += "dominant severity off by " + fmtErr(out.relError) + "; ";
+  }
+
+  // 4. Spurious diagnoses.
+  for (const CubeCell& cell : reduced.cells()) {
+    if (!isWaitMetric(cell.metric)) continue;
+    if (cell.metric == fullDom.metric && cell.callsite == fullDom.callsite) continue;
+    const double redTotal = cell.total();
+    const double fullTotal = full.total(cell.metric, cell.callsite);
+    if (redTotal >= opts.spuriousFraction * fullDomTotal &&
+        fullTotal < opts.insignificantFraction * fullDomTotal) {
+      out.spuriousDiagnosis = true;
+      worsen(verdict, Verdict::kLost);
+      reason += "spurious diagnosis amplified; ";
+      break;
+    }
+  }
+
+  // 5. Execution-time disparities (e.g. dyn_load_balance's do_work split).
+  const double execTotal = full.metricTotal(Metric::kExecutionTime);
+  for (const CubeCell& cell : full.cells()) {
+    if (cell.metric != Metric::kExecutionTime) continue;
+    const double t = cell.total();
+    if (t < opts.execDisparityFraction * execTotal) continue;
+    if (coefficientOfVariation(cell.perRank) <= opts.cvNonUniform) continue;
+    const double corr =
+        shapeCorrelation(cell.perRank, reduced.profile(cell.metric, cell.callsite));
+    if (corr < opts.correlationMin) {
+      out.disparityLost = true;
+      worsen(verdict, Verdict::kDegraded);
+      reason += "execution-time disparity lost; ";
+    }
+  }
+
+  out.verdict = verdict;
+  out.reason = reason.empty() ? "diagnosis matches the full trace" : reason;
+  return out;
+}
+
+}  // namespace tracered::analysis

@@ -1,0 +1,76 @@
+// Retention-of-performance-trends comparator (Sec. 4.3.4).
+//
+// The paper judged, per method and benchmark, whether an analyst looking at
+// the reduced trace's KOJAK diagnosis would reach the same conclusion as
+// with the full trace, following a fixed set of guidelines. This module
+// makes those guidelines quantitative and deterministic:
+//
+//   1. the dominant (wait-metric, call-site) diagnosis must be unchanged;
+//   2. its per-rank severity profile must keep its shape (Pearson r) when
+//      the full profile is non-uniform — e.g. the lower/upper rank split of
+//      dyn_load_balance;
+//   3. its total severity must be within tolerance (too low = the paper's
+//      "negative"/white-square diagnoses via the cube difference; too high =
+//      absDiff-style amplification);
+//   4. no spurious diagnosis may appear (a cell that is insignificant in the
+//      full trace but rivals the dominant one in the reduced trace);
+//   5. large execution-time disparities (do_work imbalance) must keep their
+//      shape — losing one degrades, but does not void, the diagnosis.
+//
+// Verdicts: Retained (same conclusions), Degraded (recognizable but
+// distorted), Lost (wrong or missing conclusions).
+#pragma once
+
+#include <string>
+
+#include "analysis/severity.hpp"
+
+namespace tracered::analysis {
+
+/// Comparator guideline thresholds (documented above; defaults tuned to the
+/// paper's qualitative judgments).
+struct TrendCompareOptions {
+  double severityTolerance = 0.25;  ///< Relative error for "Retained".
+  double degradedTolerance = 0.75;  ///< Relative error for "Degraded".
+  double correlationMin = 0.90;     ///< Profile-shape retention bound.
+  double cvNonUniform = 0.25;       ///< Coefficient of variation above which a
+                                    ///< profile counts as "shaped".
+  double spuriousFraction = 0.50;   ///< Reduced cell >= this x dominant while
+                                    ///< insignificant in full => spurious.
+  double insignificantFraction = 0.10;  ///< "insignificant in full" bound.
+  double negativeFraction = 0.25;   ///< Underestimation marked as a negative
+                                    ///< (white-square) diagnosis.
+  double significanceFloorUs = 1000.0;  ///< Below this total wait the trace
+                                        ///< counts as "no problem".
+  double execDisparityFraction = 0.20;  ///< Exec-time cells at least this
+                                        ///< fraction of total are shape-checked.
+};
+
+/// Verdict of a full-vs-reduced diagnosis comparison.
+enum class Verdict { kRetained, kDegraded, kLost };
+
+const char* verdictName(Verdict v);
+
+/// Detailed comparison outcome.
+struct TrendComparison {
+  Verdict verdict = Verdict::kRetained;
+  std::string reason;  ///< Human-readable explanation of the verdict.
+
+  Metric dominantMetric = Metric::kExecutionTime;
+  NameId dominantCallsite = kInvalidName;
+  double fullTotal = 0.0;     ///< Dominant-cell severity in the full trace.
+  double reducedTotal = 0.0;  ///< Same cell in the reduced trace.
+  double relError = 0.0;      ///< |reduced-full|/full for the dominant cell.
+  double correlation = 1.0;   ///< Per-rank profile correlation.
+
+  bool dominantChanged = false;
+  bool disparityLost = false;
+  bool spuriousDiagnosis = false;
+  bool negativeDiagnosis = false;  ///< Cube difference strongly negative.
+};
+
+/// Compares the diagnosis of a reconstructed trace against the full trace's.
+TrendComparison compareTrends(const SeverityCube& full, const SeverityCube& reduced,
+                              const TrendCompareOptions& opts = {});
+
+}  // namespace tracered::analysis

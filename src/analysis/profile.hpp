@@ -1,0 +1,69 @@
+// Aggregate per-function profiles and full-vs-reduced profile comparison.
+//
+// Ratn et al. (the paper's Ref. [28]) validate reduced traces through
+// aggregate statistical measures such as total time per function; this
+// module provides that complementary evaluation axis: a per-(function, rank)
+// profile {count, total, min, max, mean} and a distortion measure between
+// the profiles of the original and reconstructed traces. A reduction can
+// have large per-timestamp error (approximation distance) while preserving
+// aggregates perfectly, and vice versa — the ablation bench quantifies both.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/segment.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered::analysis {
+
+/// Aggregate statistics for one (function, rank).
+struct FunctionStats {
+  std::size_t count = 0;
+  double totalUs = 0.0;
+  double minUs = 0.0;
+  double maxUs = 0.0;
+
+  double meanUs() const { return count == 0 ? 0.0 : totalUs / static_cast<double>(count); }
+  void add(double durationUs);
+};
+
+/// Per-function, per-rank profile of a segmented trace.
+class Profile {
+ public:
+  static Profile fromTrace(const SegmentedTrace& trace);
+
+  /// Stats for (function, rank); default-constructed if absent.
+  const FunctionStats& stats(NameId fn, Rank rank) const;
+
+  /// All (function, rank) keys in deterministic order.
+  std::vector<std::pair<NameId, Rank>> keys() const;
+
+  /// Total time across all functions and ranks.
+  double grandTotalUs() const;
+
+ private:
+  std::map<std::pair<NameId, Rank>, FunctionStats> cells_;
+  static const FunctionStats kEmpty;
+};
+
+/// Distortion between an original profile and the profile of a
+/// reconstructed trace.
+struct ProfileDistortion {
+  double maxTotalRelError = 0.0;   ///< Worst relative error of per-cell totals.
+  double meanTotalRelError = 0.0;  ///< Mean relative error of per-cell totals.
+  double grandTotalRelError = 0.0; ///< Relative error of the grand total.
+  bool countsPreserved = true;     ///< Call counts must survive reduction.
+};
+
+/// Compares profiles cell-wise (cells below `floorUs` total are ignored for
+/// the relative-error statistics to avoid 0/0 noise).
+ProfileDistortion compareProfiles(const Profile& original, const Profile& reconstructed,
+                                  double floorUs = 100.0);
+
+/// Renders the top-N cells of a profile as an aligned text table.
+std::string renderProfile(const Profile& profile, const StringTable& names,
+                          std::size_t topN = 10);
+
+}  // namespace tracered::analysis

@@ -1,0 +1,86 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tracered::analysis {
+
+std::string renderProfile(const std::vector<double>& profile, double scale) {
+  std::string out;
+  out.reserve(profile.size());
+  for (double v : profile) {
+    if (scale <= 0.0) {
+      out += v > 0.0 ? '?' : '.';
+      continue;
+    }
+    const double f = v / scale;
+    if (f < 0.02) {
+      // Near zero. If the reference row was significant, mark the collapse.
+      out += '.';
+    } else {
+      const int digit = std::min(9, static_cast<int>(std::floor(f * 9.0 + 0.5)));
+      out += static_cast<char>('0' + std::max(1, digit));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string fmtSeconds(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.3fs", us / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string renderChart(const SeverityCube& cube, const SeverityCube& reference,
+                        const StringTable& names, const std::vector<ChartRow>& rows,
+                        const std::string& label) {
+  std::ostringstream os;
+  for (const ChartRow& row : rows) {
+    const NameId id = names.find(row.callsite);
+    std::vector<double> profile(static_cast<std::size_t>(cube.numRanks()), 0.0);
+    std::vector<double> refProfile = profile;
+    if (id != kInvalidName) {
+      profile = cube.profile(row.metric, id);
+      refProfile = reference.profile(row.metric, id);
+    }
+    double scale = 0.0;
+    for (double v : refProfile) scale = std::max(scale, v);
+    double total = 0.0;
+    for (double v : profile) total += v;
+    char head[96];
+    std::snprintf(head, sizeof(head), "%-10s %-2s %-14s ", label.c_str(),
+                  metricAbbrev(row.metric), row.callsite.c_str());
+    os << head << '[' << renderProfile(profile, scale) << "] " << fmtSeconds(total)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string renderCube(const SeverityCube& cube, const StringTable& names,
+                       std::size_t topN) {
+  std::vector<CubeCell> cells = cube.cells();
+  std::sort(cells.begin(), cells.end(), [](const CubeCell& a, const CubeCell& b) {
+    return a.total() > b.total();
+  });
+  std::ostringstream os;
+  os << "metric  callsite            total      per-rank\n";
+  std::size_t shown = 0;
+  for (const CubeCell& c : cells) {
+    if (shown++ >= topN) break;
+    double scale = 0.0;
+    for (double v : c.perRank) scale = std::max(scale, v);
+    char head[96];
+    std::snprintf(head, sizeof(head), "%-7s %-18s %s  ", metricAbbrev(c.metric),
+                  names.name(c.callsite).c_str(), fmtSeconds(c.total()).c_str());
+    os << head << '[' << renderProfile(c.perRank, scale) << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace tracered::analysis

@@ -1,0 +1,43 @@
+// CUBE-like text rendering of severity cubes (Fig. 4, Figs. 7/8).
+//
+// The paper's trend charts show, per (metric, code location), one colored
+// square per rank. We render each rank's severity as a digit 0-9 scaled
+// against a reference value (the full trace's row maximum), '.' for ~zero,
+// and '-' for severities that collapsed to (near) zero where the reference
+// was significant — the textual equivalent of the paper's white
+// "negative-severity" squares when charts are compared against the full
+// trace.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/severity.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered::analysis {
+
+/// One requested chart row: a metric at a call-site (function name).
+struct ChartRow {
+  Metric metric = Metric::kExecutionTime;
+  std::string callsite;
+};
+
+/// Renders one profile as rank digits against `scale` (the full trace's row
+/// maximum). Exposed for the Fig. 7/8 benches which print one line per
+/// method.
+std::string renderProfile(const std::vector<double>& profile, double scale);
+
+/// Renders the requested rows of `cube`, scaling each row against the same
+/// row in `reference` (pass the cube itself to self-scale).
+std::string renderChart(const SeverityCube& cube, const SeverityCube& reference,
+                        const StringTable& names, const std::vector<ChartRow>& rows,
+                        const std::string& label);
+
+/// Renders the `topN` highest-severity cells of a cube (a poor man's CUBE
+/// screen: metric, call-site, total, per-rank digits).
+std::string renderCube(const SeverityCube& cube, const StringTable& names,
+                       std::size_t topN = 12);
+
+}  // namespace tracered::analysis

@@ -1,0 +1,252 @@
+#include "ats/ats.hpp"
+
+#include <stdexcept>
+
+namespace tracered::ats {
+
+namespace {
+
+constexpr int kRegularRanks = 8;
+constexpr int kInterferenceRanks = 32;
+constexpr std::uint32_t kP2PBytes = 4096;
+constexpr std::uint32_t kCollBytes = 2048;
+
+void addInit(sim::RankProgramBuilder& b) {
+  b.segBegin("init");
+  b.init();
+  b.segEnd("init");
+}
+
+void addFinal(sim::RankProgramBuilder& b) {
+  b.segBegin("final");
+  b.finalize();
+  b.segEnd("final");
+}
+
+Workload skeleton(int ranks, const AtsConfig& cfg) {
+  Workload w;
+  w.program = sim::Program(ranks);
+  w.sim.seed = cfg.seed;
+  // ATS iterations are ~1 ms; loop bookkeeping of up to ~120 µs keeps the
+  // first timestamp of each segment relatively noisy (the relDiff
+  // fragmentation effect) while staying small against the work period.
+  w.sim.cost.loopOverheadMax = 120;
+  return w;
+}
+
+/// Regular 1-to-1 benchmarks: even ranks paired with the next odd rank.
+/// `sync` selects MPI_Ssend (late_receiver) vs MPI_Send (late_sender).
+Workload make1to1Regular(const AtsConfig& cfg, bool sync) {
+  Workload w = skeleton(kRegularRanks, cfg);
+  // late_sender: sender works long, receiver short -> receiver blocks.
+  // late_receiver: receiver works long, sender short -> sync sender blocks.
+  const TimeUs senderWork = sync ? cfg.workShort : cfg.workLong;
+  const TimeUs recvWork = sync ? cfg.workLong : cfg.workShort;
+  for (Rank r = 0; r < kRegularRanks; ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const bool isSender = (r % 2 == 0);
+    const Rank peer = isSender ? r + 1 : r - 1;
+    for (int i = 0; i < cfg.iterations; ++i) {
+      b.segBegin("main.1");
+      if (isSender) {
+        b.compute(senderWork);
+        if (sync) b.ssend(peer, 0, kP2PBytes);
+        else b.send(peer, 0, kP2PBytes);
+      } else {
+        b.compute(recvWork);
+        b.recv(peer, 0, kP2PBytes);
+      }
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// early_gather / late_broadcast: rooted collectives with work skew.
+Workload makeRootedRegular(const AtsConfig& cfg, OpKind coll, bool rootLate) {
+  Workload w = skeleton(kRegularRanks, cfg);
+  const Rank root = 0;
+  for (Rank r = 0; r < kRegularRanks; ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const bool isRoot = (r == root);
+    const TimeUs work = (isRoot == rootLate) ? cfg.workLong : cfg.workShort;
+    for (int i = 0; i < cfg.iterations; ++i) {
+      b.segBegin("main.1");
+      b.compute(work);
+      b.collective(coll, root, kCollBytes);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// imbalance_at_mpi_barrier: per-rank work grows linearly with the rank, so
+/// low ranks wait at the barrier every iteration with the same severity.
+Workload makeImbalanceAtBarrier(const AtsConfig& cfg) {
+  Workload w = skeleton(kRegularRanks, cfg);
+  for (Rank r = 0; r < kRegularRanks; ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const TimeUs work = 600 + 120 * static_cast<TimeUs>(r);
+    for (int i = 0; i < cfg.iterations; ++i) {
+      b.segBegin("main.1");
+      b.compute(work);
+      b.collective(OpKind::kBarrier);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Interference benchmarks: balanced work + noise; the communication step
+/// selects the pattern category.
+enum class CommPattern { kNto1, k1toN, k1to1s, k1to1r, kNtoN };
+
+Workload makeInterference(const AtsConfig& cfg, CommPattern pattern, bool noise1024) {
+  Workload w = skeleton(kInterferenceRanks, cfg);
+  w.noise = noise1024 ? sim::makeAsciQ1024Noise(cfg.seed)
+                      : sim::makeAsciQ32Noise(cfg.seed);
+  for (Rank r = 0; r < kInterferenceRanks; ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const bool even = (r % 2 == 0);
+    const Rank peer = even ? r + 1 : r - 1;
+    for (int i = 0; i < cfg.interferenceIters; ++i) {
+      b.segBegin("main.1");
+      b.compute(cfg.workBalanced);
+      switch (pattern) {
+        case CommPattern::kNto1:
+          b.collective(OpKind::kGather, 0, kCollBytes);
+          break;
+        case CommPattern::k1toN:
+          b.collective(OpKind::kBcast, 0, kCollBytes);
+          break;
+        case CommPattern::k1to1s:
+          // Ping-pong keeps the pair coupled each iteration so noise on
+          // either side shows up as Late Sender waits on the other.
+          if (even) {
+            b.send(peer, 0, kP2PBytes);
+            b.recv(peer, 1, kP2PBytes);
+          } else {
+            b.recv(peer, 0, kP2PBytes);
+            b.send(peer, 1, kP2PBytes);
+          }
+          break;
+        case CommPattern::k1to1r:
+          // One-way synchronous sends: a disturbed receiver blocks its
+          // sender (Late Receiver; Fig. 8 shows MPI_Ssend / MPI_Recv).
+          if (even) b.ssend(peer, 0, kP2PBytes);
+          else b.recv(peer, 0, kP2PBytes);
+          break;
+        case CommPattern::kNtoN:
+          b.collective(OpKind::kAllreduce, -1, 64);
+          break;
+      }
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// dyn_load_balance (Sec. 4.1, Fig. 7): work starts at ~1 ms everywhere;
+/// each iteration the upper half of the ranks does `kDrift` more work and
+/// the lower half `kDrift` less, until the imbalance ratio would exceed
+/// kTriggerRatio; then a "load balancer" runs (an extra event in that
+/// iteration) and work resets to balanced. MPI_Alltoall closes every
+/// iteration, so the lower (early) ranks accumulate Wait-at-NxN time.
+Workload makeDynLoadBalance(const AtsConfig& cfg) {
+  constexpr TimeUs kDrift = 25;
+  constexpr double kTriggerRatio = 1.8;
+  Workload w = skeleton(kRegularRanks, cfg);
+
+  // Precompute the (deterministic) drift counter per iteration.
+  std::vector<int> driftAt(static_cast<std::size_t>(cfg.dynLoadIters), 0);
+  std::vector<bool> rebalanceAt(static_cast<std::size_t>(cfg.dynLoadIters), false);
+  int k = 0;
+  for (int i = 0; i < cfg.dynLoadIters; ++i) {
+    const double hi = static_cast<double>(cfg.workBalanced + kDrift * (k + 1));
+    const double lo = static_cast<double>(cfg.workBalanced - kDrift * (k + 1));
+    driftAt[static_cast<std::size_t>(i)] = k;
+    if (lo <= 0 || hi / lo > kTriggerRatio) {
+      rebalanceAt[static_cast<std::size_t>(i)] = true;
+      k = 0;
+    } else {
+      ++k;
+    }
+  }
+
+  for (Rank r = 0; r < kRegularRanks; ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const bool upper = (r >= kRegularRanks / 2);
+    for (int i = 0; i < cfg.dynLoadIters; ++i) {
+      const int d = driftAt[static_cast<std::size_t>(i)];
+      const TimeUs work = upper ? cfg.workBalanced + kDrift * d
+                                : cfg.workBalanced - kDrift * d;
+      b.segBegin("main.1");
+      b.compute(work);
+      if (rebalanceAt[static_cast<std::size_t>(i)]) b.compute(300, "load_balance");
+      b.collective(OpKind::kAlltoall, -1, 1024);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+}  // namespace
+
+const std::vector<std::string>& benchmarkNames() {
+  static const std::vector<std::string> kNames = {
+      // Regular behaviour (Sec. 4.1).
+      "late_sender", "late_receiver", "early_gather", "late_broadcast",
+      "imbalance_at_mpi_barrier",
+      // Interference (Sec. 4.1, ASCI Q).
+      "Nto1_32", "Nto1_1024", "1toN_32", "1toN_1024", "1to1s_32", "1to1s_1024",
+      "1to1r_32", "1to1r_1024", "NtoN_32", "NtoN_1024",
+      // Dynamic load balancing.
+      "dyn_load_balance",
+  };
+  return kNames;
+}
+
+bool isBenchmark(const std::string& name) {
+  for (const auto& n : benchmarkNames())
+    if (n == name) return true;
+  return false;
+}
+
+Workload makeBenchmark(const std::string& name, const AtsConfig& cfg) {
+  if (name == "late_sender") return make1to1Regular(cfg, /*sync=*/false);
+  if (name == "late_receiver") return make1to1Regular(cfg, /*sync=*/true);
+  if (name == "early_gather")
+    return makeRootedRegular(cfg, OpKind::kGather, /*rootLate=*/false);
+  if (name == "late_broadcast")
+    return makeRootedRegular(cfg, OpKind::kBcast, /*rootLate=*/true);
+  if (name == "imbalance_at_mpi_barrier") return makeImbalanceAtBarrier(cfg);
+  if (name == "Nto1_32") return makeInterference(cfg, CommPattern::kNto1, false);
+  if (name == "Nto1_1024") return makeInterference(cfg, CommPattern::kNto1, true);
+  if (name == "1toN_32") return makeInterference(cfg, CommPattern::k1toN, false);
+  if (name == "1toN_1024") return makeInterference(cfg, CommPattern::k1toN, true);
+  if (name == "1to1s_32") return makeInterference(cfg, CommPattern::k1to1s, false);
+  if (name == "1to1s_1024") return makeInterference(cfg, CommPattern::k1to1s, true);
+  if (name == "1to1r_32") return makeInterference(cfg, CommPattern::k1to1r, false);
+  if (name == "1to1r_1024") return makeInterference(cfg, CommPattern::k1to1r, true);
+  if (name == "NtoN_32") return makeInterference(cfg, CommPattern::kNtoN, false);
+  if (name == "NtoN_1024") return makeInterference(cfg, CommPattern::kNtoN, true);
+  if (name == "dyn_load_balance") return makeDynLoadBalance(cfg);
+  throw std::invalid_argument("ats: unknown benchmark '" + name + "'");
+}
+
+Trace runBenchmark(const std::string& name, const AtsConfig& cfg) {
+  Workload w = makeBenchmark(name, cfg);
+  return sim::simulate(w.program, w.sim, w.noise.get());
+}
+
+}  // namespace tracered::ats

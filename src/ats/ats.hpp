@@ -1,0 +1,77 @@
+// APART Test Suite (ATS)-style benchmark programs (Sec. 4.1).
+//
+// The paper built its benchmark set with ATS: programs with *known*
+// performance behaviour, exercising the four communication shapes (N-to-1,
+// 1-to-N, 1-to-1, N-to-N). We regenerate the same known behaviours as
+// simulator programs:
+//
+//  Regular (8 ranks; every iteration exhibits the problem at the same
+//  severity):
+//    late_sender             1-to-1, buffered send + blocking recv
+//    late_receiver           1-to-1, synchronous send
+//    early_gather            N-to-1, root arrives early
+//    late_broadcast          1-to-N, root arrives late
+//    imbalance_at_mpi_barrier N-to-N, linear per-rank work imbalance
+//
+//  Interference (32 ranks; perfectly balanced 1 ms work periods; the only
+//  performance problem is injected ASCI-Q-style OS noise, per Petrini et
+//  al.):
+//    Nto1_32,  Nto1_1024      MPI_Gather
+//    1toN_32,  1toN_1024      MPI_Bcast
+//    1to1s_32, 1to1s_1024     ping-pong send/recv  (late-sender flavour)
+//    1to1r_32, 1to1r_1024     one-way MPI_Ssend    (late-receiver flavour)
+//    NtoN_32,  NtoN_1024      MPI_Allreduce
+//  (_32 = per-node noise of a 32-node job; _1024 = aggregate noise a
+//   1024-process job would see, folded onto 32 ranks.)
+//
+//  Dynamic load balancing (8 ranks):
+//    dyn_load_balance         drifting imbalance + periodic rebalance,
+//                             MPI_Alltoall each iteration (Fig. 7)
+//
+// Every program is bracketed with the segment markers of Fig. 1:
+// "init" (MPI_Init), "main.1" per loop iteration, "final" (MPI_Finalize).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/noise.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::ats {
+
+/// Tuning knobs for benchmark generation (tests use smaller runs).
+struct AtsConfig {
+  int iterations = 150;       ///< Loop iterations for regular benchmarks.
+  int interferenceIters = 200;///< Iterations for the interference set.
+  int dynLoadIters = 156;     ///< Iterations for dyn_load_balance.
+  TimeUs workShort = 400;     ///< "early" side work period.
+  TimeUs workLong = 1400;     ///< "late" side work period.
+  TimeUs workBalanced = 1000; ///< Interference-set work period (~1 ms, Sec. 4.1).
+  std::uint64_t seed = 42;
+};
+
+/// A benchmark ready to simulate: program + optional noise + sim config.
+struct Workload {
+  sim::Program program;
+  std::unique_ptr<sim::NoiseModel> noise;  ///< May be null (no noise).
+  sim::SimConfig sim;
+};
+
+/// All benchmark names in the paper's order (16 entries).
+const std::vector<std::string>& benchmarkNames();
+
+/// True if `name` is one of benchmarkNames().
+bool isBenchmark(const std::string& name);
+
+/// Builds the named benchmark. Throws std::invalid_argument for unknown
+/// names.
+Workload makeBenchmark(const std::string& name, const AtsConfig& cfg = {});
+
+/// Convenience: build + simulate.
+Trace runBenchmark(const std::string& name, const AtsConfig& cfg = {});
+
+}  // namespace tracered::ats

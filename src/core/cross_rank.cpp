@@ -1,0 +1,115 @@
+#include "core/cross_rank.hpp"
+
+#include <unordered_map>
+
+#include "core/segment_store.hpp"
+#include "util/bytebuf.hpp"
+
+namespace tracered::core {
+
+MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
+                                    SimilarityPolicy& policy, MergeStats* stats) {
+  MergedReducedTrace out;
+  for (const auto& s : reduced.names.all()) out.names.intern(s);
+  out.execs.resize(reduced.ranks.size());
+
+  policy.beginRank();  // one synthetic "rank" holding the shared store
+  SegmentStore shared;
+  MergeStats local;
+
+  for (std::size_t r = 0; r < reduced.ranks.size(); ++r) {
+    const RankReduced& rr = reduced.ranks[r];
+    // Map from this rank's representative id to the shared id.
+    std::vector<SegmentId> remap(rr.stored.size());
+    for (SegmentId id = 0; id < rr.stored.size(); ++id) {
+      ++local.inputRepresentatives;
+      const Segment& rep = rr.stored[id];
+      if (auto matched = policy.tryMatch(rep, shared)) {
+        remap[id] = *matched;
+      } else {
+        const SegmentId sharedId = shared.add(rep);
+        policy.onStored(shared.segment(sharedId), sharedId);
+        remap[id] = sharedId;
+      }
+    }
+    out.execs[r].reserve(rr.execs.size());
+    for (const SegmentExec& e : rr.execs)
+      out.execs[r].push_back(SegmentExec{remap.at(e.id), e.start});
+  }
+
+  policy.finishRank(shared);
+  local.mergedRepresentatives = shared.size();
+  out.sharedStore = std::move(shared).takeAll();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+SegmentedTrace reconstructMerged(const MergedReducedTrace& merged) {
+  SegmentedTrace out;
+  out.ranks.resize(merged.execs.size());
+  for (std::size_t r = 0; r < merged.execs.size(); ++r) {
+    RankSegments& rs = out.ranks[r];
+    rs.rank = static_cast<Rank>(r);
+    rs.segments.reserve(merged.execs[r].size());
+    for (const SegmentExec& e : merged.execs[r]) {
+      Segment seg = merged.sharedStore.at(e.id);
+      seg.absStart = e.start;
+      seg.rank = rs.rank;
+      rs.segments.push_back(std::move(seg));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void writeMsg(ByteWriter& w, const MsgInfo& m) {
+  if (m == MsgInfo{}) {
+    w.u8(0);
+    return;
+  }
+  w.u8(1);
+  w.svarint(m.peer);
+  w.svarint(m.tag);
+  w.svarint(m.root);
+  w.svarint(m.comm);
+  w.uvarint(m.bytes);
+}
+
+}  // namespace
+
+std::size_t mergedTraceSize(const MergedReducedTrace& merged) {
+  ByteWriter w;
+  w.u32(0x314d5254);  // "TRM1"
+  w.u8(1);
+  w.uvarint(merged.names.size());
+  for (const auto& s : merged.names.all()) w.str(s);
+  w.uvarint(merged.sharedStore.size());
+  for (const Segment& s : merged.sharedStore) {
+    w.uvarint(s.context);
+    w.svarint(s.end);
+    w.uvarint(s.events.size());
+    TimeUs prev = 0;
+    for (const EventInterval& e : s.events) {
+      w.uvarint(e.name);
+      w.u8(static_cast<std::uint8_t>(e.op));
+      w.svarint(e.start - prev);
+      w.svarint(e.end - e.start);
+      prev = e.end;
+      writeMsg(w, e.msg);
+    }
+  }
+  w.uvarint(merged.execs.size());
+  for (const auto& execs : merged.execs) {
+    w.uvarint(execs.size());
+    TimeUs prev = 0;
+    for (const SegmentExec& e : execs) {
+      w.uvarint(e.id);
+      w.svarint(e.start - prev);
+      prev = e.start;
+    }
+  }
+  return w.size();
+}
+
+}  // namespace tracered::core

@@ -1,0 +1,63 @@
+// Cross-rank representative merging (extension).
+//
+// The paper scopes itself to *intra-process* reduction and notes that
+// per-task traces are merged into one application trace afterwards. In SPMD
+// programs the ranks' representatives are often near-identical, so a second,
+// inter-process pass can merge them: representatives from different ranks
+// that are compatible and ≈-similar under the same policy collapse into one
+// shared entry, and each rank's execution table is re-pointed at the shared
+// store (cf. Noeth & Mueller's cross-node compression).
+//
+// This preserves reconstruction semantics exactly like the intra-process
+// pass: every exec still expands to a compatible representative; only the
+// measurements may now come from a peer rank's representative.
+#pragma once
+
+#include <cstddef>
+
+#include "core/similarity.hpp"
+#include "trace/reduced_trace.hpp"
+
+namespace tracered::core {
+
+/// A reduced trace whose representatives are shared across ranks.
+struct MergedReducedTrace {
+  StringTable names;
+  std::vector<Segment> sharedStore;            ///< Deduplicated representatives.
+  std::vector<std::vector<SegmentExec>> execs; ///< Per rank, ids into sharedStore.
+
+  std::size_t totalExecs() const {
+    std::size_t n = 0;
+    for (const auto& e : execs) n += e.size();
+    return n;
+  }
+};
+
+/// Statistics of a merge.
+struct MergeStats {
+  std::size_t inputRepresentatives = 0;
+  std::size_t mergedRepresentatives = 0;
+
+  double mergeRatio() const {
+    return inputRepresentatives == 0
+               ? 1.0
+               : static_cast<double>(mergedRepresentatives) /
+                     static_cast<double>(inputRepresentatives);
+  }
+};
+
+/// Merges the per-rank stores of `reduced` using `policy` for the ≈ test.
+/// The policy sees one synthetic "rank" containing all representatives in
+/// rank order (rank 0's first), so earlier ranks' representatives win — the
+/// same first-match rule as the intra-process algorithm.
+MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
+                                    SimilarityPolicy& policy, MergeStats* stats = nullptr);
+
+/// Expands a merged trace back to per-rank segments (the cross-rank analogue
+/// of core::reconstruct).
+SegmentedTrace reconstructMerged(const MergedReducedTrace& merged);
+
+/// Serialized size of a merged trace (same encoding family as "TRR1").
+std::size_t mergedTraceSize(const MergedReducedTrace& merged);
+
+}  // namespace tracered::core

@@ -1,0 +1,102 @@
+#include "core/methods.hpp"
+
+#include <stdexcept>
+
+namespace tracered::core {
+
+const std::vector<Method>& allMethods() {
+  static const std::vector<Method> kAll = {
+      Method::kRelDiff,  Method::kAbsDiff,   Method::kManhattan,
+      Method::kEuclidean, Method::kChebyshev, Method::kIterK,
+      Method::kAvgWave,  Method::kHaarWave,  Method::kIterAvg,
+  };
+  return kAll;
+}
+
+const std::vector<Method>& thresholdedMethods() {
+  static const std::vector<Method> kSome = {
+      Method::kRelDiff,  Method::kAbsDiff,   Method::kManhattan,
+      Method::kEuclidean, Method::kChebyshev, Method::kIterK,
+      Method::kAvgWave,  Method::kHaarWave,
+  };
+  return kSome;
+}
+
+const char* methodName(Method m) {
+  switch (m) {
+    case Method::kRelDiff: return "relDiff";
+    case Method::kAbsDiff: return "absDiff";
+    case Method::kManhattan: return "Manhattan";
+    case Method::kEuclidean: return "Euclidean";
+    case Method::kChebyshev: return "Chebyshev";
+    case Method::kIterK: return "iter_k";
+    case Method::kAvgWave: return "avgWave";
+    case Method::kHaarWave: return "haarWave";
+    case Method::kIterAvg: return "iter_avg";
+  }
+  return "unknown";
+}
+
+Method methodByName(const std::string& name) {
+  for (Method m : allMethods())
+    if (name == methodName(m)) return m;
+  throw std::invalid_argument("methods: unknown method '" + name + "'");
+}
+
+double defaultThreshold(Method m) {
+  switch (m) {
+    case Method::kRelDiff: return 0.8;
+    case Method::kAbsDiff: return 1000.0;  // 10^3 µs
+    case Method::kManhattan: return 0.4;
+    case Method::kEuclidean: return 0.2;
+    case Method::kChebyshev: return 0.2;
+    case Method::kIterK: return 10.0;
+    case Method::kAvgWave: return 0.2;
+    case Method::kHaarWave: return 0.2;
+    case Method::kIterAvg: return 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> studyThresholds(Method m) {
+  switch (m) {
+    case Method::kAbsDiff:
+      return {1e1, 1e2, 1e3, 1e4, 1e5, 1e6};
+    case Method::kIterK:
+      return {1, 10, 50, 100, 500, 1000};
+    case Method::kIterAvg:
+      return {};
+    default:
+      return {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  }
+}
+
+std::unique_ptr<SimilarityPolicy> makePolicy(Method m, double threshold) {
+  switch (m) {
+    case Method::kRelDiff:
+      return std::make_unique<RelDiffPolicy>(threshold);
+    case Method::kAbsDiff:
+      return std::make_unique<AbsDiffPolicy>(threshold);
+    case Method::kManhattan:
+      return std::make_unique<MinkowskiPolicy>(MinkowskiPolicy::Order::kManhattan, threshold);
+    case Method::kEuclidean:
+      return std::make_unique<MinkowskiPolicy>(MinkowskiPolicy::Order::kEuclidean, threshold);
+    case Method::kChebyshev:
+      return std::make_unique<MinkowskiPolicy>(MinkowskiPolicy::Order::kChebyshev, threshold);
+    case Method::kIterK:
+      return std::make_unique<IterKPolicy>(static_cast<int>(threshold));
+    case Method::kAvgWave:
+      return std::make_unique<WaveletPolicy>(WaveletPolicy::Kind::kAverage, threshold);
+    case Method::kHaarWave:
+      return std::make_unique<WaveletPolicy>(WaveletPolicy::Kind::kHaar, threshold);
+    case Method::kIterAvg:
+      return std::make_unique<IterAvgPolicy>();
+  }
+  throw std::invalid_argument("methods: unknown method enum");
+}
+
+std::unique_ptr<SimilarityPolicy> makeDefaultPolicy(Method m) {
+  return makePolicy(m, defaultThreshold(m));
+}
+
+}  // namespace tracered::core

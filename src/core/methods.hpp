@@ -1,0 +1,59 @@
+// Registry of the nine similarity methods the paper evaluates, with the
+// paper's study thresholds and the per-method "best" (default) thresholds
+// selected by its threshold study (Sec. 5.1):
+//
+//   relDiff 0.8 | absDiff 10^3 | Manhattan 0.4 | Euclidean 0.2 |
+//   Chebyshev 0.2 | avgWave 0.2 | haarWave 0.2 | iter_k 10 | iter_avg (none)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/similarity.hpp"
+
+namespace tracered::core {
+
+/// The nine methods (Sec. 3.2), in the paper's presentation order.
+enum class Method {
+  kRelDiff,
+  kAbsDiff,
+  kManhattan,
+  kEuclidean,
+  kChebyshev,
+  kIterK,
+  kAvgWave,
+  kHaarWave,
+  kIterAvg,
+};
+
+/// All nine methods.
+const std::vector<Method>& allMethods();
+
+/// The eight thresholded methods (everything except iter_avg), i.e. the
+/// methods that appear in the threshold study.
+const std::vector<Method>& thresholdedMethods();
+
+/// Display name ("relDiff", "Manhattan", ...).
+const char* methodName(Method m);
+
+/// Method by name; throws std::invalid_argument for unknown names.
+Method methodByName(const std::string& name);
+
+/// The paper's chosen best threshold for the comparative study
+/// (iter_avg has no threshold; returns 0).
+double defaultThreshold(Method m);
+
+/// The paper's threshold-study sweep for this method:
+/// 0.1/0.2/0.4/0.6/0.8/1.0 for the relative methods, 10^1..10^6 for absDiff,
+/// 1/10/50/100/500/1000 for iter_k, empty for iter_avg.
+std::vector<double> studyThresholds(Method m);
+
+/// Instantiates a policy. `threshold` is interpreted per method (k for
+/// iter_k, ignored for iter_avg).
+std::unique_ptr<SimilarityPolicy> makePolicy(Method m, double threshold);
+
+/// Policy at the paper's default threshold.
+std::unique_ptr<SimilarityPolicy> makeDefaultPolicy(Method m);
+
+}  // namespace tracered::core

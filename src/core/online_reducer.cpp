@@ -1,0 +1,143 @@
+#include "core/online_reducer.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "core/methods.hpp"
+
+namespace tracered::core {
+
+namespace {
+
+[[noreturn]] void fail(Rank rank, const std::string& what) {
+  throw std::runtime_error("online reducer: rank " + std::to_string(rank) + ": " + what);
+}
+
+}  // namespace
+
+OnlineRankReducer::OnlineRankReducer(Rank rank, const StringTable& names,
+                                     SimilarityPolicy& policy)
+    : rank_(rank), names_(names), policy_(policy) {
+  result_.rank = rank;
+  policy_.beginRank();
+}
+
+void OnlineRankReducer::closeSegment(TimeUs endTime) {
+  Segment seg = std::move(*current_);
+  current_.reset();
+  seg.end = endTime - seg.absStart;
+  for (auto& e : seg.events) {
+    e.start -= seg.absStart;
+    e.end -= seg.absStart;
+  }
+
+  ++stats_.totalSegments;
+  if (auto matched = policy_.tryMatch(seg, store_)) {
+    ++stats_.matches;
+    result_.execs.push_back(SegmentExec{*matched, seg.absStart});
+  } else {
+    const SegmentId id = store_.add(seg);
+    policy_.onStored(store_.segment(id), id);
+    result_.execs.push_back(SegmentExec{id, seg.absStart});
+  }
+}
+
+void OnlineRankReducer::feed(const RawRecord& record) {
+  if (finished_) fail(rank_, "feed after finish");
+  switch (record.kind) {
+    case RecordKind::kSegBegin: {
+      if (pending_) fail(rank_, "segment begins inside an open event");
+      if (current_) fail(rank_, "nested segment begin '" + names_.name(record.name) + "'");
+      Segment s;
+      s.context = record.name;
+      s.rank = rank_;
+      s.absStart = record.time;
+      current_ = std::move(s);
+      break;
+    }
+    case RecordKind::kSegEnd: {
+      if (pending_) fail(rank_, "segment ends inside an open event");
+      if (!current_ || current_->context != record.name)
+        fail(rank_, "unmatched segment end '" + names_.name(record.name) + "'");
+      closeSegment(record.time);
+      break;
+    }
+    case RecordKind::kEnter: {
+      if (!current_) fail(rank_, "event outside any segment");
+      if (pending_) fail(rank_, "nested function enter");
+      pending_ = record;
+      break;
+    }
+    case RecordKind::kExit: {
+      if (!pending_ || pending_->name != record.name)
+        fail(rank_, "exit without matching enter '" + names_.name(record.name) + "'");
+      EventInterval ev;
+      ev.name = record.name;
+      ev.op = pending_->op;
+      ev.msg = pending_->msg;
+      ev.start = pending_->time;
+      ev.end = record.time;
+      current_->events.push_back(ev);
+      pending_.reset();
+      break;
+    }
+  }
+}
+
+RankReduced OnlineRankReducer::finish() {
+  if (finished_) fail(rank_, "finish called twice");
+  if (pending_) fail(rank_, "stream ends inside an open event");
+  if (current_) fail(rank_, "stream ends inside an open segment");
+  finished_ = true;
+
+  // The degree-of-matching denominator: distinct signature groups seen.
+  std::unordered_set<std::uint64_t> groups;
+  for (const Segment& s : store_.all()) groups.insert(s.signature());
+  // Every match joined an existing group, so groups == distinct signatures.
+  stats_.possibleMatches = stats_.totalSegments - groups.size();
+  stats_.storedSegments = store_.size();
+
+  policy_.finishRank(store_);
+  result_.stored = std::move(store_).takeAll();
+  return std::move(result_);
+}
+
+std::size_t OnlineRankReducer::retainedBytes() const {
+  std::size_t bytes = result_.execs.size() * sizeof(SegmentExec);
+  for (const Segment& s : store_.all())
+    bytes += sizeof(Segment) + s.events.size() * sizeof(EventInterval);
+  return bytes;
+}
+
+OnlineReducer::OnlineReducer(const StringTable& names, Method method, double threshold)
+    : names_(names), method_(method), threshold_(threshold) {}
+
+void OnlineReducer::feed(Rank rank, const RawRecord& record) {
+  if (rank < 0) throw std::invalid_argument("online reducer: negative rank");
+  while (ranks_.size() <= static_cast<std::size_t>(rank)) {
+    PerRank pr;
+    pr.policy = makePolicy(method_, threshold_);
+    pr.reducer = std::make_unique<OnlineRankReducer>(
+        static_cast<Rank>(ranks_.size()), names_, *pr.policy);
+    ranks_.push_back(std::move(pr));
+  }
+  ranks_[static_cast<std::size_t>(rank)].reducer->feed(record);
+}
+
+ReductionResult OnlineReducer::finish() {
+  ReductionResult out;
+  for (const auto& s : names_.all()) out.reduced.names.intern(s);
+  for (auto& pr : ranks_) {
+    RankReduced rr = pr.reducer->finish();
+    const ReductionStats& st = pr.reducer->stats();  // totals set by finish()
+    out.stats.totalSegments += st.totalSegments;
+    out.stats.matches += st.matches;
+    out.stats.possibleMatches += st.possibleMatches;
+    out.stats.storedSegments += rr.stored.size();
+    out.reduced.ranks.push_back(std::move(rr));
+  }
+  return out;
+}
+
+}  // namespace tracered::core

@@ -1,0 +1,93 @@
+// Online (streaming) trace reduction.
+//
+// The paper's motivation is that full traces are too large to *collect*, so
+// in practice reduction must happen while the application runs, inside the
+// measurement layer, record by record. OnlineReducer implements exactly the
+// offline pipeline (segmenter -> Sec. 3.1 matching) in streaming form: feed
+// it one rank's raw records as they are produced; it segments on the fly,
+// matches each completed segment immediately, and keeps only the
+// representative store plus the execution table in memory.
+//
+// Guarantee (tested): for any valid record stream, the result is
+// bit-identical to segmenting the whole trace and running the offline
+// reducer with the same policy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "core/methods.hpp"
+#include "core/reducer.hpp"
+#include "core/similarity.hpp"
+#include "trace/reduced_trace.hpp"
+#include "trace/segment.hpp"
+#include "trace/string_table.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::core {
+
+/// Streaming reducer for a single rank.
+class OnlineRankReducer {
+ public:
+  /// `names` must outlive the reducer (it is the trace-wide string table the
+  /// records' NameIds refer to). The policy is owned by the caller and must
+  /// have beginRank() semantics applied by this class.
+  OnlineRankReducer(Rank rank, const StringTable& names, SimilarityPolicy& policy);
+
+  /// Feeds the next raw record. Throws std::runtime_error on malformed
+  /// streams (same diagnostics as the offline segmenter).
+  void feed(const RawRecord& record);
+
+  /// Completes the stream: runs the policy's finishRank hook and returns the
+  /// rank's reduction. The reducer cannot be fed afterwards.
+  RankReduced finish();
+
+  /// Matching statistics so far.
+  const ReductionStats& stats() const { return stats_; }
+
+  /// Current memory footprint of the retained data (stored segments +
+  /// execs), in approximate bytes — the number an online tool would watch
+  /// to decide when to spill.
+  std::size_t retainedBytes() const;
+
+ private:
+  void closeSegment(TimeUs endTime);
+
+  Rank rank_;
+  const StringTable& names_;
+  SimilarityPolicy& policy_;
+  SegmentStore store_;
+  RankReduced result_;
+  ReductionStats stats_;
+
+  std::optional<Segment> current_;     // open segment, absolute event times
+  std::optional<RawRecord> pending_;   // open function invocation
+  bool finished_ = false;
+};
+
+/// Streaming reducer for a whole application: one OnlineRankReducer per
+/// rank, one policy instance per rank (policies are stateful per rank).
+class OnlineReducer {
+ public:
+  /// `makePolicy` is invoked once per rank.
+  OnlineReducer(const StringTable& names, Method method, double threshold);
+
+  /// Feeds a record for `rank`, growing the rank set on demand.
+  void feed(Rank rank, const RawRecord& record);
+
+  /// Finishes all ranks and assembles the reduced trace.
+  ReductionResult finish();
+
+ private:
+  struct PerRank {
+    std::unique_ptr<SimilarityPolicy> policy;
+    std::unique_ptr<OnlineRankReducer> reducer;
+  };
+  const StringTable& names_;
+  Method method_;
+  double threshold_;
+  std::vector<PerRank> ranks_;
+};
+
+}  // namespace tracered::core

@@ -1,0 +1,23 @@
+#include "core/reconstruct.hpp"
+
+namespace tracered::core {
+
+SegmentedTrace reconstruct(const ReducedTrace& reduced) {
+  SegmentedTrace out;
+  out.ranks.reserve(reduced.ranks.size());
+  for (const RankReduced& rr : reduced.ranks) {
+    RankSegments rs;
+    rs.rank = rr.rank;
+    rs.segments.reserve(rr.execs.size());
+    for (const SegmentExec& exec : rr.execs) {
+      Segment seg = rr.stored.at(exec.id);  // relative times, absStart == 0
+      seg.absStart = exec.start;
+      seg.rank = rr.rank;
+      rs.segments.push_back(std::move(seg));
+    }
+    out.ranks.push_back(std::move(rs));
+  }
+  return out;
+}
+
+}  // namespace tracered::core

@@ -1,0 +1,17 @@
+// Recreation of an approximated full trace from a reduced trace
+// (Sec. 4.3.3): every segment execution is replayed by stamping its
+// representative's relative event times onto the recorded absolute start
+// time. The result is structurally identical to the original SegmentedTrace
+// (same segment/event counts), so timestamps can be compared pairwise.
+#pragma once
+
+#include "trace/reduced_trace.hpp"
+#include "trace/segment.hpp"
+
+namespace tracered::core {
+
+/// Expands `reduced` into per-rank segments with absolute start times.
+/// Throws std::out_of_range if an exec references an unknown representative.
+SegmentedTrace reconstruct(const ReducedTrace& reduced);
+
+}  // namespace tracered::core

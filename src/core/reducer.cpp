@@ -1,0 +1,47 @@
+#include "core/reducer.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tracered::core {
+
+ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
+                            SimilarityPolicy& policy) {
+  ReductionResult out;
+  for (const auto& s : names.all()) out.reduced.names.intern(s);
+
+  for (const RankSegments& rank : segmented.ranks) {
+    policy.beginRank();
+    SegmentStore store;
+    RankReduced rr;
+    rr.rank = rank.rank;
+
+    // Signature groups for the possible-match count. Signatures are hashes;
+    // collisions would only perturb the *denominator* of the degree of
+    // matching by a vanishing amount, so a set of hashes suffices here.
+    std::unordered_set<std::uint64_t> groups;
+
+    for (const Segment& seg : rank.segments) {
+      ++out.stats.totalSegments;
+      groups.insert(seg.signature());
+
+      if (auto matched = policy.tryMatch(seg, store)) {
+        ++out.stats.matches;
+        rr.execs.push_back(SegmentExec{*matched, seg.absStart});
+      } else {
+        const SegmentId id = store.add(seg);
+        policy.onStored(store.segment(id), id);
+        rr.execs.push_back(SegmentExec{id, seg.absStart});
+      }
+    }
+    out.stats.possibleMatches += rank.segments.size() - groups.size();
+
+    policy.finishRank(store);
+    rr.stored = std::move(store).takeAll();
+    out.stats.storedSegments += rr.stored.size();
+    out.reduced.ranks.push_back(std::move(rr));
+  }
+  return out;
+}
+
+}  // namespace tracered::core

@@ -1,0 +1,45 @@
+// The trace reduction algorithm of Sec. 3.1.
+//
+// For each rank independently (reduction is intra-process): walk the rank's
+// segments in execution order; rebase times (done by the segmenter); ask the
+// similarity policy for a match among stored representatives; on a match,
+// record (representative id, start time) in segmentExecs; otherwise store
+// the segment as a new representative and record its own id.
+#pragma once
+
+#include <cstddef>
+
+#include "core/similarity.hpp"
+#include "trace/reduced_trace.hpp"
+#include "trace/segment.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered::core {
+
+/// Match-accounting for the degree-of-matching criterion (Sec. 4.3.2).
+struct ReductionStats {
+  std::size_t totalSegments = 0;
+  std::size_t storedSegments = 0;
+  std::size_t matches = 0;          ///< Segments recorded against an existing id.
+  std::size_t possibleMatches = 0;  ///< totalSegments - #signature groups.
+
+  /// matches / possibleMatches; 1.0 when nothing could have matched.
+  double degreeOfMatching() const {
+    return possibleMatches == 0
+               ? 1.0
+               : static_cast<double>(matches) / static_cast<double>(possibleMatches);
+  }
+};
+
+/// Result of reducing one whole trace.
+struct ReductionResult {
+  ReducedTrace reduced;
+  ReductionStats stats;
+};
+
+/// Reduces `segmented` (all ranks) with `policy`. `names` is copied into the
+/// reduced trace so it is self-contained.
+ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
+                            SimilarityPolicy& policy);
+
+}  // namespace tracered::core

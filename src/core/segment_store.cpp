@@ -1,0 +1,21 @@
+#include "core/segment_store.hpp"
+
+namespace tracered::core {
+
+const std::vector<SegmentId> SegmentStore::kEmpty;
+
+SegmentId SegmentStore::add(const Segment& segment) {
+  const SegmentId id = static_cast<SegmentId>(segments_.size());
+  Segment stored = segment;
+  stored.absStart = 0;
+  segments_.push_back(std::move(stored));
+  buckets_[segment.signature()].push_back(id);
+  return id;
+}
+
+const std::vector<SegmentId>& SegmentStore::bucket(std::uint64_t sig) const {
+  const auto it = buckets_.find(sig);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+}  // namespace tracered::core

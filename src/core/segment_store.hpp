@@ -1,0 +1,42 @@
+// Store of representative segments for one rank (the paper's
+// `storedSegments` list), bucketed by segment signature so that candidate
+// lookup is linear in the (small) number of representatives that could
+// possibly match rather than all representatives.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/segment.hpp"
+
+namespace tracered::core {
+
+/// Per-rank representative store. Ids are dense indices in store order.
+class SegmentStore {
+ public:
+  /// Adds a new representative. The stored copy keeps its relative event
+  /// times and gets absStart reset to 0 (the representative stands for all
+  /// executions, not a particular one). Returns the assigned id.
+  SegmentId add(const Segment& segment);
+
+  /// Representatives whose signature matches `sig` (candidates still need a
+  /// `compatible` check to guard against hash collisions). Returns ids in
+  /// store order — the paper's algorithm scans stored segments in order and
+  /// takes the first match.
+  const std::vector<SegmentId>& bucket(std::uint64_t sig) const;
+
+  const Segment& segment(SegmentId id) const { return segments_.at(id); }
+  Segment& segment(SegmentId id) { return segments_.at(id); }
+
+  std::size_t size() const { return segments_.size(); }
+  const std::vector<Segment>& all() const { return segments_; }
+  std::vector<Segment> takeAll() && { return std::move(segments_); }
+
+ private:
+  std::vector<Segment> segments_;
+  std::unordered_map<std::uint64_t, std::vector<SegmentId>> buckets_;
+  static const std::vector<SegmentId> kEmpty;
+};
+
+}  // namespace tracered::core

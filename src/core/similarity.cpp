@@ -1,0 +1,183 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wavelet/wavelet.hpp"
+
+namespace tracered::core {
+
+// ---------------------------------------------------------------------------
+// DistancePolicy
+
+std::optional<SegmentId> DistancePolicy::tryMatch(const Segment& candidate,
+                                                  SegmentStore& store) {
+  for (SegmentId id : store.bucket(candidate.signature())) {
+    const Segment& stored = store.segment(id);
+    if (!candidate.compatible(stored)) continue;  // signature collision guard
+    if (similar(candidate, stored)) return id;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// relDiff
+
+double RelDiffPolicy::relDiff(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom == 0.0) return 0.0;
+  return std::fabs(a - b) / denom;
+}
+
+bool RelDiffPolicy::similar(const Segment& a, const Segment& b) const {
+  return forEachMeasurementPair(
+      a, b, [this](double x, double y) { return relDiff(x, y) <= threshold_; });
+}
+
+// ---------------------------------------------------------------------------
+// absDiff
+
+bool AbsDiffPolicy::similar(const Segment& a, const Segment& b) const {
+  return forEachMeasurementPair(
+      a, b, [this](double x, double y) { return std::fabs(x - y) <= threshold_; });
+}
+
+// ---------------------------------------------------------------------------
+// Minkowski distances
+
+std::string MinkowskiPolicy::name() const {
+  switch (order_) {
+    case Order::kManhattan: return "Manhattan";
+    case Order::kEuclidean: return "Euclidean";
+    case Order::kChebyshev: return "Chebyshev";
+  }
+  return "Minkowski";
+}
+
+double MinkowskiPolicy::distance(Order order, const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a[i] - b[i]);
+    switch (order) {
+      case Order::kManhattan: acc += d; break;
+      case Order::kEuclidean: acc += d * d; break;
+      case Order::kChebyshev: acc = std::max(acc, d); break;
+    }
+  }
+  return order == Order::kEuclidean ? std::sqrt(acc) : acc;
+}
+
+bool MinkowskiPolicy::similar(const Segment& a, const Segment& b) const {
+  const std::vector<double> va = distanceVector(a);
+  const std::vector<double> vb = distanceVector(b);
+  const double dist = distance(order_, va, vb);
+  // Eq. 1's acceptance test: distance <= threshold * largest measurement in
+  // the pair of vectors (Fig. 2 example: 0.2 * 51 = 10.2).
+  double maxVal = 0.0;
+  for (double v : va) maxVal = std::max(maxVal, std::fabs(v));
+  for (double v : vb) maxVal = std::max(maxVal, std::fabs(v));
+  return dist <= threshold_ * maxVal;
+}
+
+// ---------------------------------------------------------------------------
+// Wavelet methods
+
+std::vector<double> WaveletPolicy::transform(const Segment& s) const {
+  std::vector<double> v = wavelet::padToPow2(waveletVector(s));
+  return kind_ == Kind::kAverage ? wavelet::avgTransform(std::move(v))
+                                 : wavelet::haarTransform(std::move(v));
+}
+
+std::optional<SegmentId> WaveletPolicy::tryMatch(const Segment& candidate,
+                                                 SegmentStore& store) {
+  const std::vector<double> tc = transform(candidate);
+  for (SegmentId id : store.bucket(candidate.signature())) {
+    const Segment& stored = store.segment(id);
+    if (!candidate.compatible(stored)) continue;
+    const std::vector<double>& ts = cache_.at(id);
+    const double dist = wavelet::euclideanDistance(tc, ts);
+    double maxVal = 0.0;
+    for (double v : tc) maxVal = std::max(maxVal, std::fabs(v));
+    for (double v : ts) maxVal = std::max(maxVal, std::fabs(v));
+    if (dist <= threshold_ * maxVal) return id;
+  }
+  return std::nullopt;
+}
+
+void WaveletPolicy::onStored(const Segment& segment, SegmentId id) {
+  if (cache_.size() <= id) cache_.resize(id + 1);
+  cache_[id] = transform(segment);
+}
+
+// ---------------------------------------------------------------------------
+// iter_k
+
+std::optional<SegmentId> IterKPolicy::tryMatch(const Segment& candidate,
+                                               SegmentStore& store) {
+  const auto& bucket = store.bucket(candidate.signature());
+  int compatibleCount = 0;
+  SegmentId last = 0;
+  for (SegmentId id : bucket) {
+    if (candidate.compatible(store.segment(id))) {
+      ++compatibleCount;
+      last = id;
+    }
+  }
+  if (compatibleCount < k_) return std::nullopt;  // still collecting
+  return last;  // footnote 1: fill with the last collected segment
+}
+
+// ---------------------------------------------------------------------------
+// iter_avg
+
+namespace {
+
+std::vector<double> measurements(const Segment& s) {
+  std::vector<double> v;
+  v.reserve(2 * s.events.size() + 1);
+  for (const auto& e : s.events) {
+    v.push_back(static_cast<double>(e.start));
+    v.push_back(static_cast<double>(e.end));
+  }
+  v.push_back(static_cast<double>(s.end));
+  return v;
+}
+
+}  // namespace
+
+std::optional<SegmentId> IterAvgPolicy::tryMatch(const Segment& candidate,
+                                                 SegmentStore& store) {
+  for (SegmentId id : store.bucket(candidate.signature())) {
+    if (!candidate.compatible(store.segment(id))) continue;
+    Acc& a = acc_.at(id);
+    const std::vector<double> m = measurements(candidate);
+    for (std::size_t i = 0; i < m.size(); ++i) a.sums[i] += m[i];
+    ++a.count;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void IterAvgPolicy::onStored(const Segment& segment, SegmentId id) {
+  if (acc_.size() <= id) acc_.resize(id + 1);
+  acc_[id].sums = measurements(segment);
+  acc_[id].count = 1;
+}
+
+void IterAvgPolicy::finishRank(SegmentStore& store) {
+  for (SegmentId id = 0; id < store.size(); ++id) {
+    const Acc& a = acc_.at(id);
+    if (a.count == 0) continue;
+    Segment& s = store.segment(id);
+    const double inv = 1.0 / static_cast<double>(a.count);
+    std::size_t idx = 0;
+    for (auto& e : s.events) {
+      e.start = static_cast<TimeUs>(std::llround(a.sums[idx++] * inv));
+      e.end = static_cast<TimeUs>(std::llround(a.sums[idx++] * inv));
+    }
+    s.end = static_cast<TimeUs>(std::llround(a.sums[idx] * inv));
+  }
+}
+
+}  // namespace tracered::core

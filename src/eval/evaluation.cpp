@@ -1,0 +1,79 @@
+#include "eval/evaluation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace tracered::eval {
+
+PreparedTrace prepare(Trace trace) {
+  PreparedTrace out{std::move(trace), {}, 0, analysis::SeverityCube(0)};
+  out.segmented = segmentTrace(out.trace);
+  out.fullBytes = fullTraceSize(out.trace);
+  out.fullCube = analysis::analyze(out.segmented);
+  return out;
+}
+
+double approximationDistance(const SegmentedTrace& original,
+                             const SegmentedTrace& reconstructed, double p) {
+  if (original.ranks.size() != reconstructed.ranks.size())
+    throw std::invalid_argument("approximationDistance: rank count mismatch");
+  std::vector<double> diffs;
+  diffs.reserve(2 * original.totalEvents());
+  for (std::size_t r = 0; r < original.ranks.size(); ++r) {
+    const auto& orig = original.ranks[r].segments;
+    const auto& rec = reconstructed.ranks[r].segments;
+    if (orig.size() != rec.size())
+      throw std::invalid_argument("approximationDistance: segment count mismatch");
+    for (std::size_t s = 0; s < orig.size(); ++s) {
+      const Segment& a = orig[s];
+      const Segment& b = rec[s];
+      if (a.events.size() != b.events.size())
+        throw std::invalid_argument("approximationDistance: event count mismatch");
+      for (std::size_t e = 0; e < a.events.size(); ++e) {
+        const double ds = static_cast<double>((a.absStart + a.events[e].start) -
+                                              (b.absStart + b.events[e].start));
+        const double de = static_cast<double>((a.absStart + a.events[e].end) -
+                                              (b.absStart + b.events[e].end));
+        diffs.push_back(std::fabs(ds));
+        diffs.push_back(std::fabs(de));
+      }
+      diffs.push_back(std::fabs(static_cast<double>((a.absStart + a.end) -
+                                                    (b.absStart + b.end))));
+    }
+  }
+  return percentile(std::move(diffs), p);
+}
+
+MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method method,
+                                double threshold) {
+  MethodEvaluation out;
+  out.method = method;
+  out.threshold = threshold;
+  out.fullBytes = prepared.fullBytes;
+
+  const auto policy = core::makePolicy(method, threshold);
+  core::ReductionResult reduction =
+      core::reduceTrace(prepared.segmented, prepared.trace.names(), *policy);
+
+  out.reducedBytes = reducedTraceSize(reduction.reduced);
+  out.filePct = 100.0 * static_cast<double>(out.reducedBytes) /
+                static_cast<double>(out.fullBytes);
+  out.degreeOfMatching = reduction.stats.degreeOfMatching();
+  out.storedSegments = reduction.stats.storedSegments;
+  out.totalSegments = reduction.stats.totalSegments;
+
+  const SegmentedTrace reconstructed = core::reconstruct(reduction.reduced);
+  out.approxDistanceUs = approximationDistance(prepared.segmented, reconstructed);
+
+  out.reducedCube = analysis::analyze(reconstructed);
+  out.trends = analysis::compareTrends(prepared.fullCube, out.reducedCube);
+  return out;
+}
+
+MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method) {
+  return evaluateMethod(prepared, method, core::defaultThreshold(method));
+}
+
+}  // namespace tracered::eval

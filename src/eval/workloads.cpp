@@ -1,0 +1,45 @@
+#include "eval/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tracered::eval {
+
+namespace {
+
+int scaled(int iters, double scale) {
+  return std::max(4, static_cast<int>(std::lround(iters * scale)));
+}
+
+}  // namespace
+
+const std::vector<std::string>& allWorkloads() {
+  static const std::vector<std::string> kAll = [] {
+    std::vector<std::string> v = ats::benchmarkNames();
+    v.push_back("sweep3d_8p");
+    v.push_back("sweep3d_32p");
+    return v;
+  }();
+  return kAll;
+}
+
+const std::vector<std::string>& benchmarkWorkloads() { return ats::benchmarkNames(); }
+
+Trace runWorkload(const std::string& name, const WorkloadOptions& opts) {
+  if (name == "sweep3d_8p" || name == "sweep3d_32p") {
+    sweep3d::Sweep3DConfig cfg =
+        name == "sweep3d_8p" ? sweep3d::config8p() : sweep3d::config32p();
+    cfg.iterations = scaled(cfg.iterations, opts.scale);
+    cfg.seed = opts.seed;
+    return sweep3d::runSweep3D(cfg);
+  }
+  ats::AtsConfig cfg;
+  cfg.iterations = scaled(cfg.iterations, opts.scale);
+  cfg.interferenceIters = scaled(cfg.interferenceIters, opts.scale);
+  cfg.dynLoadIters = scaled(cfg.dynLoadIters, opts.scale);
+  cfg.seed = opts.seed;
+  return ats::runBenchmark(name, cfg);
+}
+
+}  // namespace tracered::eval

@@ -1,0 +1,33 @@
+// Workload registry: the paper's 16 benchmarks plus the two Sweep3D runs
+// (Sec. 4), behind one name-indexed factory so every bench binary iterates
+// the same list the paper's figures do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ats/ats.hpp"
+#include "sweep3d/sweep3d.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::eval {
+
+/// Scaling options: benches run the full paper-size workloads; tests dial
+/// iterations down for speed.
+struct WorkloadOptions {
+  double scale = 1.0;        ///< Iteration-count multiplier (min 4 iterations).
+  std::uint64_t seed = 42;
+};
+
+/// All 18 program names in the paper's presentation order: 5 regular, 10
+/// interference, dyn_load_balance, sweep3d_8p, sweep3d_32p.
+const std::vector<std::string>& allWorkloads();
+
+/// The 16 ATS benchmarks (no sweep3d).
+const std::vector<std::string>& benchmarkWorkloads();
+
+/// Runs the named workload and returns its full trace.
+/// Throws std::invalid_argument for unknown names.
+Trace runWorkload(const std::string& name, const WorkloadOptions& opts = {});
+
+}  // namespace tracered::eval

@@ -1,0 +1,47 @@
+// Halo2D: a 5-point-stencil halo-exchange proxy application.
+//
+// The paper's future work calls for "evaluating the methods against a richer
+// set of full application traces"; Halo2D provides a second application
+// shape alongside Sweep3D: bulk-synchronous nearest-neighbour exchange (the
+// dominant pattern of structured-grid codes like AMG or miniGhost proxies),
+// with an optional hotspot rank (static imbalance) and an optional noise
+// model hookup.
+//
+// Per iteration and rank: compute, post buffered sends of the four edge
+// halos, receive the four matching halos, and every `reduceEvery` iterations
+// participate in a global MPI_Allreduce (residual check).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/noise.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::halo {
+
+/// Configuration of a Halo2D run.
+struct Halo2DConfig {
+  int px = 4;             ///< Rank-mesh width.
+  int py = 4;             ///< Rank-mesh height.
+  int nx = 256;           ///< Local cells per rank in x.
+  int ny = 256;           ///< Local cells per rank in y.
+  int iterations = 100;   ///< Time steps.
+  int reduceEvery = 10;   ///< Allreduce cadence (residual check).
+  double usPerCell = 0.00002;  ///< Compute cost per cell-update (µs).
+  Rank hotspotRank = -1;  ///< Rank doing `hotspotFactor` x work; -1 = none.
+  double hotspotFactor = 1.5;
+  std::uint64_t seed = 11;
+
+  int ranks() const { return px * py; }
+};
+
+/// Builds the simulator program.
+sim::Program makeProgram(const Halo2DConfig& cfg);
+
+/// Builds and simulates; `noise` may be null.
+Trace runHalo2D(const Halo2DConfig& cfg, const sim::NoiseModel* noise = nullptr);
+
+}  // namespace tracered::halo

@@ -1,0 +1,51 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+
+namespace tracered::sim {
+
+std::vector<Interrupt> PeriodicNoise::schedule(Rank rank, TimeUs horizon) const {
+  std::vector<Interrupt> out;
+  for (std::size_t si = 0; si < sources_.size(); ++si) {
+    const InterruptSource& src = sources_[si];
+    if (src.period <= 0) continue;
+    SplitMix64 rng(seedFor("noise", seed_ ^ (si * 0x9e3779b9ull), rank));
+    // Random initial phase so ranks are not synchronized (the essence of the
+    // ASCI Q problem: uncoordinated noise).
+    TimeUs t = rng.nextInt(0, src.period - 1);
+    while (t < horizon) {
+      Interrupt irq;
+      irq.time = t;
+      const double dj = 1.0 + src.jitter * rng.nextGaussian();
+      irq.duration = std::max<TimeUs>(1, static_cast<TimeUs>(
+                                             static_cast<double>(src.duration) * dj));
+      out.push_back(irq);
+      const double pj = 1.0 + src.jitter * rng.nextGaussian();
+      t += std::max<TimeUs>(1, static_cast<TimeUs>(static_cast<double>(src.period) * pj));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interrupt& a, const Interrupt& b) { return a.time < b.time; });
+  return out;
+}
+
+std::unique_ptr<NoiseModel> makeAsciQ32Noise(std::uint64_t seed) {
+  std::vector<InterruptSource> sources;
+  // Light per-node daemon activity: ~100 µs every ~5 ms.
+  sources.push_back({/*period=*/5000, /*duration=*/100, /*jitter=*/0.25});
+  // Heavier kernel / cluster-management sweep: ~700 µs every ~37 ms.
+  sources.push_back({/*period=*/37000, /*duration=*/700, /*jitter=*/0.25});
+  return std::make_unique<PeriodicNoise>(std::move(sources), seed);
+}
+
+std::unique_ptr<NoiseModel> makeAsciQ1024Noise(std::uint64_t seed) {
+  std::vector<InterruptSource> sources;
+  // Folding a 1024-process machine's uncoordinated noise onto 32 ranks: the
+  // same source classes fire ~8x as often, and the heavy sweeps hit harder.
+  sources.push_back({/*period=*/1250, /*duration=*/80, /*jitter=*/0.30});
+  sources.push_back({/*period=*/9000, /*duration=*/500, /*jitter=*/0.30});
+  sources.push_back({/*period=*/61000, /*duration=*/2500, /*jitter=*/0.20});
+  return std::make_unique<PeriodicNoise>(std::move(sources), seed);
+}
+
+}  // namespace tracered::sim

@@ -1,0 +1,98 @@
+#include "sim/program.hpp"
+
+namespace tracered::sim {
+
+RankProgramBuilder& RankProgramBuilder::compute(TimeUs work, std::string name) {
+  SimOp op;
+  op.type = SimOpType::kCompute;
+  op.op = OpKind::kCompute;
+  op.name = std::move(name);
+  op.work = work;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::send(Rank to, std::int32_t tag, std::uint32_t bytes) {
+  SimOp op;
+  op.type = SimOpType::kSend;
+  op.op = OpKind::kSend;
+  op.msg.peer = to;
+  op.msg.tag = tag;
+  op.msg.bytes = bytes;
+  op.msg.comm = 0;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::ssend(Rank to, std::int32_t tag, std::uint32_t bytes) {
+  SimOp op;
+  op.type = SimOpType::kSsend;
+  op.op = OpKind::kSsend;
+  op.msg.peer = to;
+  op.msg.tag = tag;
+  op.msg.bytes = bytes;
+  op.msg.comm = 0;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::recv(Rank from, std::int32_t tag, std::uint32_t bytes) {
+  SimOp op;
+  op.type = SimOpType::kRecv;
+  op.op = OpKind::kRecv;
+  op.msg.peer = from;
+  op.msg.tag = tag;
+  op.msg.bytes = bytes;
+  op.msg.comm = 0;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::collective(OpKind op, Rank root, std::uint32_t bytes) {
+  SimOp o;
+  o.type = SimOpType::kCollective;
+  o.op = op;
+  o.msg.root = (isNto1(op) || is1toN(op)) ? root : -1;
+  o.msg.bytes = bytes;
+  o.msg.comm = 0;
+  prog_.ops.push_back(std::move(o));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::segBegin(std::string context) {
+  SimOp op;
+  op.type = SimOpType::kSegBegin;
+  op.name = std::move(context);
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::segEnd(std::string context) {
+  SimOp op;
+  op.type = SimOpType::kSegEnd;
+  op.name = std::move(context);
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::init() {
+  SimOp op;
+  op.type = SimOpType::kCollective;
+  op.op = OpKind::kInit;
+  op.msg.comm = 0;
+  op.msg.bytes = 0;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+RankProgramBuilder& RankProgramBuilder::finalize() {
+  SimOp op;
+  op.type = SimOpType::kCollective;
+  op.op = OpKind::kFinalize;
+  op.msg.comm = 0;
+  op.msg.bytes = 0;
+  prog_.ops.push_back(std::move(op));
+  return *this;
+}
+
+}  // namespace tracered::sim

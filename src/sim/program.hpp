@@ -1,0 +1,77 @@
+// Rank-program representation for the MPI simulator.
+//
+// A simulated application is one static operation sequence per rank
+// (compute phases, point-to-point calls, collectives, and the segment
+// markers of Fig. 1). The benchmarks in src/ats and src/sweep3d build these
+// programs; src/sim/simulator executes them with real blocking semantics and
+// produces a Trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace tracered::sim {
+
+/// Kind of a program operation.
+enum class SimOpType : std::uint8_t {
+  kCompute,    ///< Local work of a nominal duration.
+  kSend,       ///< Buffered/standard send (never blocks on the receiver).
+  kSsend,      ///< Synchronous send (blocks until the receive is posted).
+  kRecv,       ///< Blocking receive.
+  kCollective, ///< Rooted or unrooted collective on MPI_COMM_WORLD.
+  kSegBegin,   ///< start_segment(context) marker.
+  kSegEnd,     ///< end_segment(context) marker.
+};
+
+/// One operation of a rank program.
+struct SimOp {
+  SimOpType type = SimOpType::kCompute;
+  OpKind op = OpKind::kCompute;  ///< Semantic op (which collective, etc.).
+  std::string name;              ///< Display name; empty -> opName(op) or context.
+  TimeUs work = 0;               ///< Nominal duration for kCompute.
+  MsgInfo msg;                   ///< peer/tag/root/comm/bytes as applicable.
+};
+
+/// The operation sequence of one rank.
+struct RankProgram {
+  Rank rank = 0;
+  std::vector<SimOp> ops;
+};
+
+/// A whole simulated application.
+struct Program {
+  std::vector<RankProgram> ranks;
+
+  int numRanks() const { return static_cast<int>(ranks.size()); }
+
+  explicit Program(int n = 0) {
+    ranks.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ranks[static_cast<std::size_t>(i)].rank = i;
+  }
+};
+
+/// Fluent per-rank program builder used by the benchmark generators.
+class RankProgramBuilder {
+ public:
+  explicit RankProgramBuilder(RankProgram& prog) : prog_(prog) {}
+
+  RankProgramBuilder& compute(TimeUs work, std::string name = "do_work");
+  RankProgramBuilder& send(Rank to, std::int32_t tag, std::uint32_t bytes);
+  RankProgramBuilder& ssend(Rank to, std::int32_t tag, std::uint32_t bytes);
+  RankProgramBuilder& recv(Rank from, std::int32_t tag, std::uint32_t bytes);
+  /// Collective on MPI_COMM_WORLD. `root` is ignored for unrooted collectives.
+  RankProgramBuilder& collective(OpKind op, Rank root = -1, std::uint32_t bytes = 8);
+  RankProgramBuilder& segBegin(std::string context);
+  RankProgramBuilder& segEnd(std::string context);
+  /// MPI_Init / MPI_Finalize style synchronization.
+  RankProgramBuilder& init();
+  RankProgramBuilder& finalize();
+
+ private:
+  RankProgram& prog_;
+};
+
+}  // namespace tracered::sim

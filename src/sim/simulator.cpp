@@ -1,0 +1,354 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace tracered::sim {
+
+namespace {
+
+/// In-flight or delivered message on a (src, dst, tag) channel.
+struct MsgInstance {
+  bool sync = false;          ///< true for Ssend rendezvous messages.
+  TimeUs senderEnter = 0;
+  TimeUs availableAt = 0;     ///< Arrival time (buffered sends only).
+  std::uint32_t bytes = 0;
+  std::optional<TimeUs> recvEnter;  ///< Set when the receive is posted (sync).
+};
+
+using ChannelKey = std::tuple<Rank, Rank, std::int32_t>;  // src, dst, tag
+
+struct Channel {
+  std::deque<MsgInstance> msgs;
+  std::size_t nextForReceiver = 0;  ///< First message not yet received.
+};
+
+/// One collective occurrence on MPI_COMM_WORLD (the k-th collective each rank
+/// executes; programs must agree on the collective sequence).
+struct CollInstance {
+  OpKind op = OpKind::kBarrier;
+  Rank root = -1;
+  std::uint32_t bytes = 0;
+  std::vector<std::optional<TimeUs>> enters;
+  int enteredCount = 0;
+  TimeUs maxEnter = 0;
+};
+
+struct RankState {
+  TimeUs clock = 0;
+  std::size_t pc = 0;
+  bool entered = false;       ///< Blocking op has recorded its enter.
+  bool afterSegBegin = false; ///< Next enter pays the loop-entry overhead.
+  TimeUs enterTime = 0;
+  ChannelKey pendingKey{};    ///< For a parked Ssend: its message instance.
+  std::size_t pendingIdx = 0;
+  std::size_t collIndex = 0;  ///< Next collective sequence number.
+  std::size_t noisePtr = 0;
+  std::vector<Interrupt> noise;
+  SplitMix64 rng{0};
+};
+
+// The engine drives each rank as far as it can go; a rank that blocks is
+// re-queued only when a dependency it may be waiting on becomes available
+// (message posted, rendezvous acknowledged, collective completed). This keeps
+// the simulation linear in the number of operations even for deeply
+// pipelined wavefront codes like sweep3d.
+class Engine {
+ public:
+  Engine(const Program& program, const SimConfig& config, const NoiseModel* noise)
+      : program_(program), cfg_(config), trace_(program.numRanks()) {
+    const int n = program.numRanks();
+    if (n <= 0) throw std::runtime_error("simulate: empty program");
+    states_.resize(static_cast<std::size_t>(n));
+    queued_.assign(static_cast<std::size_t>(n), 0);
+    const TimeUs horizon = noiseHorizon();
+    for (Rank r = 0; r < n; ++r) {
+      RankState& st = states_[static_cast<std::size_t>(r)];
+      st.rng = SplitMix64(seedFor("sim-rank", cfg_.seed, r));
+      if (noise != nullptr && !noise->silent()) st.noise = noise->schedule(r, horizon);
+      writers_.emplace_back(trace_, r);
+    }
+  }
+
+  Trace run() {
+    const int n = program_.numRanks();
+    for (Rank r = 0; r < n; ++r) wake(r);
+    while (!ready_.empty()) {
+      const Rank r = ready_.front();
+      ready_.pop_front();
+      queued_[static_cast<std::size_t>(r)] = 0;
+      RankState& st = states_[static_cast<std::size_t>(r)];
+      const auto& ops = program_.ranks[static_cast<std::size_t>(r)].ops;
+      while (st.pc < ops.size()) {
+        if (!tryExecute(r, st, ops[st.pc])) break;
+        ++st.pc;
+        st.entered = false;
+      }
+    }
+    for (Rank r = 0; r < n; ++r) {
+      const RankState& st = states_[static_cast<std::size_t>(r)];
+      if (st.pc < program_.ranks[static_cast<std::size_t>(r)].ops.size()) throwDeadlock();
+    }
+    return std::move(trace_);
+  }
+
+ private:
+  void wake(Rank r) {
+    if (r < 0 || r >= program_.numRanks()) return;
+    if (queued_[static_cast<std::size_t>(r)]) return;
+    queued_[static_cast<std::size_t>(r)] = 1;
+    ready_.push_back(r);
+  }
+
+  void wakeAll() {
+    for (Rank r = 0; r < program_.numRanks(); ++r) wake(r);
+  }
+
+  TimeUs noiseHorizon() const {
+    TimeUs maxWork = 0;
+    for (const auto& rp : program_.ranks) {
+      TimeUs w = 0;
+      for (const auto& op : rp.ops) w += op.work + 50;
+      maxWork = std::max(maxWork, w);
+    }
+    return static_cast<TimeUs>(static_cast<double>(maxWork + 10000) *
+                               cfg_.noiseHorizonFactor);
+  }
+
+  [[noreturn]] void throwDeadlock() const {
+    std::string msg = "simulate: deadlock;";
+    for (std::size_t r = 0; r < states_.size(); ++r) {
+      const auto& ops = program_.ranks[r].ops;
+      if (states_[r].pc < ops.size()) {
+        msg += " rank " + std::to_string(r) + " blocked at op " +
+               std::to_string(states_[r].pc);
+      }
+    }
+    throw std::runtime_error(msg);
+  }
+
+  TimeUs enterJitter(RankState& st) {
+    TimeUs d = cfg_.cost.enterJitterMax <= 0 ? 0 : st.rng.nextInt(0, cfg_.cost.enterJitterMax);
+    if (st.afterSegBegin) {
+      st.afterSegBegin = false;
+      if (cfg_.cost.loopOverheadMax > 1) {
+        // Log-uniform over [1, loopOverheadMax]: scale-free ratios, so the
+        // first timestamp of a segment has large *relative* variance.
+        const double logMax = std::log(static_cast<double>(cfg_.cost.loopOverheadMax));
+        d += static_cast<TimeUs>(std::exp(st.rng.nextDouble() * logMax));
+      }
+    }
+    return d;
+  }
+
+  TimeUs jittered(RankState& st, TimeUs nominal, double sigma) {
+    if (nominal <= 0) return 0;
+    const double f = 1.0 + sigma * st.rng.nextGaussian();
+    return std::max<TimeUs>(1, static_cast<TimeUs>(static_cast<double>(nominal) * f));
+  }
+
+  /// End of a compute phase of `dur` starting at `start`, stretched by any
+  /// interrupts firing inside the (growing) window. Interrupts that fired
+  /// while the rank was blocked in MPI are skipped: they stole idle cycles.
+  TimeUs computeEnd(RankState& st, TimeUs start, TimeUs dur) {
+    TimeUs end = start + dur;
+    while (st.noisePtr < st.noise.size() && st.noise[st.noisePtr].time < start) ++st.noisePtr;
+    while (st.noisePtr < st.noise.size() && st.noise[st.noisePtr].time < end) {
+      end += st.noise[st.noisePtr].duration;
+      ++st.noisePtr;
+    }
+    return end;
+  }
+
+  std::string displayName(const SimOp& op) const {
+    return op.name.empty() ? std::string(opName(op.op)) : op.name;
+  }
+
+  CollInstance& collInstance(std::size_t index, const SimOp& op, Rank r) {
+    if (index >= collectives_.size()) collectives_.resize(index + 1);
+    CollInstance& inst = collectives_[index];
+    if (inst.enters.empty()) {
+      inst.op = op.op;
+      inst.root = op.msg.root;
+      inst.bytes = op.msg.bytes;
+      inst.enters.assign(static_cast<std::size_t>(program_.numRanks()), std::nullopt);
+    } else if (inst.op != op.op || inst.root != op.msg.root || inst.bytes != op.msg.bytes) {
+      throw std::runtime_error("simulate: rank " + std::to_string(r) +
+                               " collective #" + std::to_string(index) +
+                               " mismatches other ranks (op/root/bytes)");
+    }
+    return inst;
+  }
+
+  bool tryExecute(Rank r, RankState& st, const SimOp& op) {
+    auto& w = writers_[static_cast<std::size_t>(r)];
+    const CostModel& cm = cfg_.cost;
+
+    switch (op.type) {
+      case SimOpType::kSegBegin:
+        w.segBegin(op.name, st.clock);
+        st.afterSegBegin = true;
+        return true;
+
+      case SimOpType::kSegEnd:
+        w.segEnd(op.name, st.clock);
+        return true;
+
+      case SimOpType::kCompute: {
+        const TimeUs enter = st.clock + enterJitter(st);
+        const TimeUs dur = jittered(st, op.work, cm.computeJitterSigma);
+        const TimeUs end = computeEnd(st, enter, dur);
+        const std::string name = displayName(op);
+        w.enter(name, OpKind::kCompute, enter);
+        w.exit(name, end);
+        st.clock = end;
+        return true;
+      }
+
+      case SimOpType::kSend: {
+        const TimeUs enter = st.clock + enterJitter(st);
+        const TimeUs copyCost = static_cast<TimeUs>(
+            static_cast<double>(op.msg.bytes) / (cm.bytesPerUs * 4.0));
+        const TimeUs exit = enter + jittered(st, cm.sendOverhead + copyCost,
+                                             cm.overheadJitterSigma);
+        MsgInstance m;
+        m.sync = false;
+        m.senderEnter = enter;
+        m.bytes = op.msg.bytes;
+        m.availableAt = enter + jittered(st, cm.transferTime(op.msg.bytes),
+                                         cm.overheadJitterSigma);
+        channels_[{r, op.msg.peer, op.msg.tag}].msgs.push_back(m);
+        const std::string name = displayName(op);
+        w.enter(name, OpKind::kSend, enter, op.msg);
+        w.exit(name, exit);
+        st.clock = exit;
+        wake(op.msg.peer);
+        return true;
+      }
+
+      case SimOpType::kSsend: {
+        const ChannelKey key{r, op.msg.peer, op.msg.tag};
+        if (!st.entered) {
+          st.enterTime = st.clock + enterJitter(st);
+          MsgInstance m;
+          m.sync = true;
+          m.senderEnter = st.enterTime;
+          m.bytes = op.msg.bytes;
+          Channel& ch = channels_[key];
+          ch.msgs.push_back(m);
+          st.pendingKey = key;
+          st.pendingIdx = ch.msgs.size() - 1;
+          st.entered = true;
+          w.enter(displayName(op), OpKind::kSsend, st.enterTime, op.msg);
+          wake(op.msg.peer);
+        }
+        const MsgInstance& m = channels_[st.pendingKey].msgs[st.pendingIdx];
+        if (!m.recvEnter.has_value()) return false;  // receive not yet posted
+        const TimeUs exit = std::max(st.enterTime, *m.recvEnter) + cm.latency +
+                            jittered(st, cm.sendOverhead, cm.overheadJitterSigma);
+        w.exit(displayName(op), exit);
+        st.clock = exit;
+        return true;
+      }
+
+      case SimOpType::kRecv: {
+        const ChannelKey key{op.msg.peer, r, op.msg.tag};
+        if (!st.entered) {
+          st.enterTime = st.clock + enterJitter(st);
+          st.entered = true;
+          w.enter(displayName(op), OpKind::kRecv, st.enterTime, op.msg);
+        }
+        Channel& ch = channels_[key];
+        if (ch.nextForReceiver >= ch.msgs.size()) return false;  // nothing sent yet
+        MsgInstance& m = ch.msgs[ch.nextForReceiver];
+        if (m.bytes != op.msg.bytes) {
+          throw std::runtime_error("simulate: message size mismatch on channel " +
+                                   std::to_string(op.msg.peer) + "->" + std::to_string(r));
+        }
+        TimeUs exit;
+        if (m.sync) {
+          m.recvEnter = st.enterTime;
+          exit = std::max(m.senderEnter, st.enterTime) + cm.latency +
+                 static_cast<TimeUs>(static_cast<double>(m.bytes) / cm.bytesPerUs) +
+                 jittered(st, cm.recvOverhead, cm.overheadJitterSigma);
+          wake(op.msg.peer);  // the synchronous sender may now complete
+        } else {
+          exit = std::max(st.enterTime, m.availableAt) +
+                 jittered(st, cm.recvOverhead, cm.overheadJitterSigma);
+        }
+        ++ch.nextForReceiver;
+        w.exit(displayName(op), exit);
+        st.clock = exit;
+        return true;
+      }
+
+      case SimOpType::kCollective: {
+        CollInstance& inst = collInstance(st.collIndex, op, r);
+        const int n = program_.numRanks();
+        if (!st.entered) {
+          st.enterTime = st.clock + enterJitter(st);
+          st.entered = true;
+          inst.enters[static_cast<std::size_t>(r)] = st.enterTime;
+          ++inst.enteredCount;
+          inst.maxEnter = std::max(inst.maxEnter, st.enterTime);
+          w.enter(displayName(op), op.op, st.enterTime, op.msg);
+          // Entering may unblock everyone (instance complete) or the
+          // non-roots of a 1-to-N (root arrived).
+          if (inst.enteredCount == n || (is1toN(op.op) && r == op.msg.root)) wakeAll();
+        }
+
+        TimeUs exit = 0;
+        const TimeUs cost = cm.collectiveCost(op.op, n, op.msg.bytes);
+        if (isNto1(op.op) && r != op.msg.root) {
+          // Leaf of an N-to-1: contributes and proceeds without blocking.
+          exit = st.enterTime + jittered(st, cm.sendOverhead + cm.latency,
+                                         cm.overheadJitterSigma);
+        } else if (is1toN(op.op) && r == op.msg.root) {
+          // Root of a 1-to-N: pushes data and proceeds without blocking.
+          exit = st.enterTime + jittered(st, cost, cm.overheadJitterSigma);
+        } else if (is1toN(op.op)) {
+          // Non-root of a 1-to-N: blocked until the root shows up.
+          const auto& rootEnter = inst.enters[static_cast<std::size_t>(op.msg.root)];
+          if (!rootEnter.has_value()) return false;
+          exit = std::max(st.enterTime, *rootEnter + cost + cm.latency) +
+                 jittered(st, cm.recvOverhead, cm.overheadJitterSigma);
+        } else {
+          // N-to-N, N-to-1 root, Init, Finalize: blocked until the last enter.
+          if (inst.enteredCount < n) return false;
+          exit = inst.maxEnter + jittered(st, cost, cm.overheadJitterSigma);
+        }
+        w.exit(displayName(op), exit);
+        st.clock = exit;
+        ++st.collIndex;
+        return true;
+      }
+    }
+    throw std::logic_error("simulate: unknown op type");
+  }
+
+  const Program& program_;
+  SimConfig cfg_;
+  Trace trace_;
+  std::vector<RankState> states_;
+  std::vector<RankTraceWriter> writers_;
+  std::map<ChannelKey, Channel> channels_;
+  std::vector<CollInstance> collectives_;
+  std::deque<Rank> ready_;
+  std::vector<char> queued_;
+};
+
+}  // namespace
+
+Trace simulate(const Program& program, const SimConfig& config, const NoiseModel* noise) {
+  Engine engine(program, config, noise);
+  return engine.run();
+}
+
+}  // namespace tracered::sim

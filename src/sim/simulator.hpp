@@ -1,0 +1,49 @@
+// Discrete-event MPI simulator.
+//
+// Executes a Program (one static op sequence per rank) with faithful blocking
+// semantics and produces a full event Trace:
+//
+//   * standard sends complete locally; the matching blocking receive waits
+//     for the message's arrival (Late Sender appears as receive-side wait);
+//   * synchronous sends rendezvous with the receive (Late Receiver appears
+//     as send-side wait);
+//   * N-to-1 collectives block only the root, 1-to-N collectives block only
+//     the non-roots, N-to-N collectives block everyone until the last enter;
+//   * compute phases are stretched by the configured noise model and receive
+//     small multiplicative jitter, so no two segment executions are ever
+//     bit-identical — the premise of the similarity study.
+//
+// The engine is a readiness loop: each pass advances every rank as far as it
+// can go; blocking ops park until their dependency (message, rendezvous,
+// collective completion) is available. A full pass without progress is a
+// deadlock and raises an error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/cost_model.hpp"
+#include "sim/noise.hpp"
+#include "sim/program.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::sim {
+
+/// Simulator configuration.
+struct SimConfig {
+  CostModel cost;
+  std::uint64_t seed = 1;  ///< Base seed for all jitter streams.
+  /// Horizon multiplier for noise schedule generation, relative to the sum of
+  /// nominal work. 8x is comfortably past the real end of every workload.
+  double noiseHorizonFactor = 8.0;
+};
+
+/// Runs `program` and returns the generated trace.
+///
+/// `noise` may be null (no noise). Throws std::runtime_error on deadlock or
+/// on inconsistent programs (mismatched collectives, mismatched message
+/// sizes).
+Trace simulate(const Program& program, const SimConfig& config,
+               const NoiseModel* noise = nullptr);
+
+}  // namespace tracered::sim

@@ -1,0 +1,152 @@
+#include "sim/validate.hpp"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace tracered::sim {
+
+namespace {
+
+using ChannelKey = std::tuple<Rank, Rank, std::int32_t>;
+
+struct ChannelInfo {
+  std::vector<std::uint32_t> sendBytes;
+  std::vector<std::uint32_t> recvBytes;
+  std::size_t syncSends = 0;
+};
+
+std::string chanName(const ChannelKey& key) {
+  std::ostringstream os;
+  os << std::get<0>(key) << "->" << std::get<1>(key) << " tag " << std::get<2>(key);
+  return os.str();
+}
+
+void addIssue(std::vector<ValidationIssue>& issues, ValidationIssue::Severity sev,
+              std::string msg) {
+  issues.push_back({sev, std::move(msg)});
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validateProgram(const Program& program) {
+  std::vector<ValidationIssue> issues;
+  const int n = program.numRanks();
+
+  std::map<ChannelKey, ChannelInfo> channels;
+  std::vector<std::vector<const SimOp*>> collectives(static_cast<std::size_t>(n));
+
+  for (Rank r = 0; r < n; ++r) {
+    for (const SimOp& op : program.ranks[static_cast<std::size_t>(r)].ops) {
+      switch (op.type) {
+        case SimOpType::kSend:
+        case SimOpType::kSsend: {
+          if (op.msg.peer < 0 || op.msg.peer >= n) {
+            addIssue(issues, ValidationIssue::Severity::kError,
+                     "rank " + std::to_string(r) + " sends to invalid rank " +
+                         std::to_string(op.msg.peer));
+            break;
+          }
+          ChannelInfo& ch = channels[{r, op.msg.peer, op.msg.tag}];
+          ch.sendBytes.push_back(op.msg.bytes);
+          if (op.type == SimOpType::kSsend) ++ch.syncSends;
+          break;
+        }
+        case SimOpType::kRecv: {
+          if (op.msg.peer < 0 || op.msg.peer >= n) {
+            addIssue(issues, ValidationIssue::Severity::kError,
+                     "rank " + std::to_string(r) + " receives from invalid rank " +
+                         std::to_string(op.msg.peer));
+            break;
+          }
+          channels[{op.msg.peer, r, op.msg.tag}].recvBytes.push_back(op.msg.bytes);
+          break;
+        }
+        case SimOpType::kCollective:
+          collectives[static_cast<std::size_t>(r)].push_back(&op);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Channel balance + payload agreement.
+  for (const auto& [key, ch] : channels) {
+    if (ch.recvBytes.size() > ch.sendBytes.size()) {
+      addIssue(issues, ValidationIssue::Severity::kError,
+               "channel " + chanName(key) + ": " + std::to_string(ch.recvBytes.size()) +
+                   " receives but only " + std::to_string(ch.sendBytes.size()) +
+                   " sends (deadlock)");
+    } else if (ch.sendBytes.size() > ch.recvBytes.size()) {
+      addIssue(issues, ValidationIssue::Severity::kWarning,
+               "channel " + chanName(key) + ": " +
+                   std::to_string(ch.sendBytes.size() - ch.recvBytes.size()) +
+                   " message(s) never received");
+    }
+    const std::size_t paired = std::min(ch.sendBytes.size(), ch.recvBytes.size());
+    for (std::size_t i = 0; i < paired; ++i) {
+      if (ch.sendBytes[i] != ch.recvBytes[i]) {
+        addIssue(issues, ValidationIssue::Severity::kError,
+                 "channel " + chanName(key) + ": message " + std::to_string(i) +
+                     " payload mismatch (" + std::to_string(ch.sendBytes[i]) +
+                     " sent vs " + std::to_string(ch.recvBytes[i]) + " received)");
+        break;
+      }
+    }
+  }
+
+  // Collective sequence agreement (all ranks of MPI_COMM_WORLD).
+  std::size_t minColl = SIZE_MAX, maxColl = 0;
+  for (const auto& v : collectives) {
+    minColl = std::min(minColl, v.size());
+    maxColl = std::max(maxColl, v.size());
+  }
+  if (n > 0 && minColl != maxColl) {
+    addIssue(issues, ValidationIssue::Severity::kError,
+             "ranks disagree on the number of collectives (" + std::to_string(minColl) +
+                 " vs " + std::to_string(maxColl) + "): deadlock");
+  }
+  for (std::size_t k = 0; n > 0 && k < minColl; ++k) {
+    const SimOp* first = collectives[0][k];
+    for (Rank r = 1; r < n; ++r) {
+      const SimOp* op = collectives[static_cast<std::size_t>(r)][k];
+      if (op->op != first->op || op->msg.root != first->msg.root ||
+          op->msg.bytes != first->msg.bytes) {
+        addIssue(issues, ValidationIssue::Severity::kError,
+                 "collective #" + std::to_string(k) + ": rank " + std::to_string(r) +
+                     " calls " + opName(op->op) + " while rank 0 calls " +
+                     opName(first->op) + " (or root/bytes differ)");
+        break;
+      }
+    }
+  }
+
+  // Head-to-head synchronous-send cycles: both directions of a rank pair use
+  // Ssend on channels with no buffered slack. Conservative pairwise check.
+  std::map<std::pair<Rank, Rank>, std::size_t> syncByPair;
+  for (const auto& [key, ch] : channels) {
+    if (ch.syncSends > 0)
+      syncByPair[{std::get<0>(key), std::get<1>(key)}] += ch.syncSends;
+  }
+  for (const auto& [pair, count] : syncByPair) {
+    const auto reverse = syncByPair.find({pair.second, pair.first});
+    if (reverse != syncByPair.end() && pair.first < pair.second) {
+      addIssue(issues, ValidationIssue::Severity::kWarning,
+               "ranks " + std::to_string(pair.first) + " and " +
+                   std::to_string(pair.second) +
+                   " both use synchronous sends towards each other; "
+                   "verify the orders cannot rendezvous head-to-head");
+    }
+  }
+
+  return issues;
+}
+
+bool isValid(const std::vector<ValidationIssue>& issues) {
+  for (const auto& issue : issues)
+    if (issue.severity == ValidationIssue::Severity::kError) return false;
+  return true;
+}
+
+}  // namespace tracered::sim

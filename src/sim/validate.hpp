@@ -1,0 +1,36 @@
+// Static validation of simulator programs.
+//
+// The simulator detects deadlocks and mismatches at run time; this validator
+// catches the same classes of bugs *before* simulation, with better
+// diagnostics, so workload authors (and the fuzz tests) get immediate
+// feedback:
+//
+//   * p2p channel imbalance: more receives than sends on a (src,dst,tag)
+//     channel (guaranteed deadlock), or unreceived messages (usually a bug);
+//   * per-position payload mismatches on a channel;
+//   * collective sequences that differ across ranks (op, root or payload);
+//   * synchronous-send rendezvous cycles between rank pairs (the classic
+//     head-to-head Ssend/Ssend deadlock).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace tracered::sim {
+
+/// One validation finding.
+struct ValidationIssue {
+  enum class Severity { kWarning, kError };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Validates `program`; returns all findings (empty = clean).
+std::vector<ValidationIssue> validateProgram(const Program& program);
+
+/// True if no error-severity issue was found.
+bool isValid(const std::vector<ValidationIssue>& issues);
+
+}  // namespace tracered::sim

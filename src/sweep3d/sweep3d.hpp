@@ -1,0 +1,62 @@
+// Sweep3D proxy workload (Sec. 4.2).
+//
+// Sweep3D solves a 3-D Cartesian neutron-transport problem with the
+// Koch-Baker-Alcouffe (KBA) wavefront algorithm: the grid is decomposed over
+// a 2-D (px × py) rank mesh; for each of the 8 ordinate octants, pipelined
+// blocks of k-planes and angles sweep diagonally across the rank mesh, each
+// rank receiving ghost faces from its upstream i/j neighbours, computing, and
+// forwarding downstream. This generates exactly the trace structure the
+// paper's study needs from sweep3d: many distinct segment contexts, many
+// per-segment message-parameter differences (8 sweep directions), and very
+// regular timing.
+//
+// The paper's runs map to:
+//   sweep3d_8p :  8 ranks (2×4), input.50  (50^3 grid)
+//   sweep3d_32p: 32 ranks (4×8), input.150 (150^3 grid)
+//
+// Segment contexts per outer iteration (Fig. 1 naming scheme):
+//   "it.src"    source-moment computation
+//   "it.oct.kb" one pipeline block: recv ghost faces, compute, send
+//   "it.flux"   convergence test (MPI_Allreduce)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::sweep3d {
+
+/// Sweep3D proxy configuration.
+struct Sweep3DConfig {
+  int px = 2;          ///< Rank-mesh width (i direction).
+  int py = 4;          ///< Rank-mesh height (j direction).
+  int nx = 50;         ///< Global grid cells in i.
+  int ny = 50;         ///< Global grid cells in j.
+  int nz = 50;         ///< Global grid cells in k.
+  int mk = 10;         ///< k-plane block size (sweep3d input "mk").
+  int mmi = 3;         ///< Angles per pipeline block (sweep3d input "mmi").
+  int angles = 6;      ///< Discrete ordinates per octant.
+  int iterations = 8;  ///< Outer source iterations ("its").
+  double usPerCell = 0.0025;  ///< Compute cost per cell-angle (µs).
+  std::uint64_t seed = 7;
+
+  int kBlocks() const { return (nz + mk - 1) / mk; }
+  int angleBlocks() const { return (angles + mmi - 1) / mmi; }
+  int ranks() const { return px * py; }
+};
+
+/// The paper's 8-process run (2×4, input.50).
+Sweep3DConfig config8p();
+
+/// The paper's 32-process run (4×8, input.150).
+Sweep3DConfig config32p();
+
+/// Builds the simulator program for a sweep3d run.
+sim::Program makeProgram(const Sweep3DConfig& cfg);
+
+/// Builds and simulates a sweep3d run.
+Trace runSweep3D(const Sweep3DConfig& cfg);
+
+}  // namespace tracered::sweep3d

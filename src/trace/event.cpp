@@ -1,0 +1,51 @@
+#include "trace/event.hpp"
+
+namespace tracered {
+
+bool isNxN(OpKind op) {
+  switch (op) {
+    case OpKind::kBarrier:
+    case OpKind::kAllgather:
+    case OpKind::kAlltoall:
+    case OpKind::kAllreduce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isNto1(OpKind op) { return op == OpKind::kGather || op == OpKind::kReduce; }
+
+bool is1toN(OpKind op) { return op == OpKind::kBcast || op == OpKind::kScatter; }
+
+bool isCollective(OpKind op) {
+  return isNxN(op) || isNto1(op) || is1toN(op) || op == OpKind::kInit ||
+         op == OpKind::kFinalize;
+}
+
+bool isP2P(OpKind op) {
+  return op == OpKind::kSend || op == OpKind::kSsend || op == OpKind::kRecv;
+}
+
+const char* opName(OpKind op) {
+  switch (op) {
+    case OpKind::kCompute: return "do_work";
+    case OpKind::kSend: return "MPI_Send";
+    case OpKind::kSsend: return "MPI_Ssend";
+    case OpKind::kRecv: return "MPI_Recv";
+    case OpKind::kBarrier: return "MPI_Barrier";
+    case OpKind::kBcast: return "MPI_Bcast";
+    case OpKind::kScatter: return "MPI_Scatter";
+    case OpKind::kGather: return "MPI_Gather";
+    case OpKind::kReduce: return "MPI_Reduce";
+    case OpKind::kAllgather: return "MPI_Allgather";
+    case OpKind::kAlltoall: return "MPI_Alltoall";
+    case OpKind::kAllreduce: return "MPI_Allreduce";
+    case OpKind::kInit: return "MPI_Init";
+    case OpKind::kFinalize: return "MPI_Finalize";
+    case OpKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace tracered

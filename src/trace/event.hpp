@@ -1,0 +1,102 @@
+// Event model for tracered traces.
+//
+// A *raw trace* is a per-rank stream of timestamped records: function
+// enter/exit pairs plus the segment begin/end markers of Fig. 1 of the paper.
+// Downstream, enter/exit pairs are folded into `EventInterval`s, which are the
+// (start, end) "measurements" the similarity metrics compare.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/time_types.hpp"
+
+namespace tracered {
+
+/// Kind of a raw trace record.
+enum class RecordKind : std::uint8_t {
+  kEnter = 0,     ///< Function entry (carries op + message info).
+  kExit = 1,      ///< Function exit.
+  kSegBegin = 2,  ///< start_segment(context) marker.
+  kSegEnd = 3,    ///< end_segment(context) marker.
+};
+
+/// Semantic class of a traced operation. The EXPERT-like analyzer keys its
+/// pattern rules off this, not off the (arbitrary) function name string.
+enum class OpKind : std::uint8_t {
+  kCompute = 0,    ///< Local work ("do_work").
+  kSend,           ///< Buffered/standard send: does not block on the receiver.
+  kSsend,          ///< Synchronous send: blocks until the receive is posted.
+  kRecv,           ///< Blocking receive.
+  kBarrier,        ///< N-to-N synchronization.
+  kBcast,          ///< 1-to-N.
+  kScatter,        ///< 1-to-N.
+  kGather,         ///< N-to-1.
+  kReduce,         ///< N-to-1.
+  kAllgather,      ///< N-to-N.
+  kAlltoall,       ///< N-to-N.
+  kAllreduce,      ///< N-to-N.
+  kInit,           ///< MPI_Init.
+  kFinalize,       ///< MPI_Finalize.
+  kOther,          ///< Anything else (treated as local time).
+};
+
+/// True for the N-to-N collectives (barrier/allgather/alltoall/allreduce).
+bool isNxN(OpKind op);
+/// True for N-to-1 collectives (gather/reduce).
+bool isNto1(OpKind op);
+/// True for 1-to-N collectives (bcast/scatter).
+bool is1toN(OpKind op);
+/// True for any collective (including barrier/init/finalize-style syncs).
+bool isCollective(OpKind op);
+/// True for point-to-point operations.
+bool isP2P(OpKind op);
+/// Canonical display name ("MPI_Recv", "do_work", ...).
+const char* opName(OpKind op);
+
+/// Message-passing parameters of an operation. Two segments can only match if
+/// all message parameters of corresponding events are equal (Sec. 4.3.2:
+/// "all message passing calls and parameters are the same").
+struct MsgInfo {
+  std::int32_t peer = -1;   ///< Peer rank for p2p; -1 if not applicable.
+  std::int32_t tag = -1;    ///< Message tag for p2p.
+  std::int32_t root = -1;   ///< Root rank for rooted collectives.
+  std::int32_t comm = -1;   ///< Communicator id; -1 if not applicable.
+  std::uint32_t bytes = 0;  ///< Payload size in bytes.
+
+  friend bool operator==(const MsgInfo&, const MsgInfo&) = default;
+};
+
+/// One timestamped record in a raw per-rank trace.
+struct RawRecord {
+  RecordKind kind = RecordKind::kEnter;
+  OpKind op = OpKind::kCompute;  ///< Valid for kEnter.
+  NameId name = kInvalidName;    ///< Function name, or context name for markers.
+  TimeUs time = 0;
+  MsgInfo msg;  ///< Valid for kEnter of message operations.
+
+  friend bool operator==(const RawRecord&, const RawRecord&) = default;
+};
+
+/// A completed function invocation: the unit whose start/end "measurements"
+/// the similarity metrics compare (Sec. 3.1: each segment holds an ordered
+/// list of events).
+struct EventInterval {
+  NameId name = kInvalidName;
+  OpKind op = OpKind::kCompute;
+  TimeUs start = 0;  ///< Relative to segment start once rebased.
+  TimeUs end = 0;
+  MsgInfo msg;
+
+  TimeUs duration() const { return end - start; }
+
+  /// Identity-compatibility: same function, op and message parameters.
+  /// This is the `Enew[i].id != Estored[i].id` check of compareSegments.
+  bool sameIdentity(const EventInterval& o) const {
+    return name == o.name && op == o.op && msg == o.msg;
+  }
+
+  friend bool operator==(const EventInterval&, const EventInterval&) = default;
+};
+
+}  // namespace tracered

@@ -1,0 +1,49 @@
+// Reduced-trace data model (Sec. 3.1): for each rank, the list of stored
+// representative segments plus the segment-execution table (segmentExecs)
+// that records, for every segment execution in the original run, which
+// representative stands in for it and when it started. Together these are
+// sufficient to recreate an approximated full trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/segment.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered {
+
+/// One entry of segmentExecs: representative id + absolute start time.
+struct SegmentExec {
+  SegmentId id = 0;
+  TimeUs start = 0;
+
+  friend bool operator==(const SegmentExec&, const SegmentExec&) = default;
+};
+
+/// Reduction result for one rank. Stored segments have segment-relative
+/// timestamps (absStart == 0); ids are dense in store order.
+struct RankReduced {
+  Rank rank = 0;
+  std::vector<Segment> stored;
+  std::vector<SegmentExec> execs;
+};
+
+/// Whole-application reduced trace.
+struct ReducedTrace {
+  StringTable names;
+  std::vector<RankReduced> ranks;
+
+  std::size_t totalStored() const {
+    std::size_t n = 0;
+    for (const auto& r : ranks) n += r.stored.size();
+    return n;
+  }
+  std::size_t totalExecs() const {
+    std::size_t n = 0;
+    for (const auto& r : ranks) n += r.execs.size();
+    return n;
+  }
+};
+
+}  // namespace tracered

@@ -1,0 +1,123 @@
+#include "trace/segmenter.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace tracered {
+
+namespace {
+
+[[noreturn]] void fail(Rank rank, const std::string& what) {
+  throw std::runtime_error("segmenter: rank " + std::to_string(rank) + ": " + what);
+}
+
+}  // namespace
+
+RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
+                         const SegmenterOptions& opts) {
+  RankSegments out;
+  out.rank = rankTrace.rank;
+
+  std::optional<Segment> current;          // open segment (absolute times)
+  std::optional<RawRecord> pendingEnter;   // open function invocation
+  const NameId gapContext = names.find("<gap>");
+
+  auto openGap = [&](TimeUs t) {
+    Segment s;
+    s.context = gapContext;
+    s.rank = rankTrace.rank;
+    s.absStart = t;
+    current = s;
+  };
+
+  auto closeCurrent = [&](TimeUs t) {
+    Segment s = std::move(*current);
+    current.reset();
+    s.end = t - s.absStart;
+    // Rebase events relative to the segment start (the first loop of the
+    // paper's matching algorithm).
+    for (auto& e : s.events) {
+      e.start -= s.absStart;
+      e.end -= s.absStart;
+    }
+    out.segments.push_back(std::move(s));
+  };
+
+  for (const RawRecord& rec : rankTrace.records) {
+    switch (rec.kind) {
+      case RecordKind::kSegBegin: {
+        if (pendingEnter) fail(rankTrace.rank, "segment begins inside an open event");
+        if (current) {
+          if (current->context != gapContext || !opts.tolerateGaps)
+            fail(rankTrace.rank, "nested segment begin for context '" +
+                                     names.name(rec.name) + "'");
+          closeCurrent(rec.time);
+        }
+        Segment s;
+        s.context = rec.name;
+        s.rank = rankTrace.rank;
+        s.absStart = rec.time;
+        current = s;
+        break;
+      }
+      case RecordKind::kSegEnd: {
+        if (pendingEnter) fail(rankTrace.rank, "segment ends inside an open event");
+        if (!current || current->context != rec.name)
+          fail(rankTrace.rank, "unmatched segment end for context '" +
+                                   names.name(rec.name) + "'");
+        closeCurrent(rec.time);
+        break;
+      }
+      case RecordKind::kEnter: {
+        if (pendingEnter)
+          fail(rankTrace.rank, "nested function enter (flat event model expected)");
+        if (!current) {
+          if (!opts.tolerateGaps)
+            fail(rankTrace.rank, "event outside any segment: '" + names.name(rec.name) + "'");
+          if (gapContext == kInvalidName)
+            fail(rankTrace.rank, "gap-tolerant mode requires '<gap>' interned");
+          openGap(rec.time);
+        }
+        pendingEnter = rec;
+        break;
+      }
+      case RecordKind::kExit: {
+        if (!pendingEnter || pendingEnter->name != rec.name)
+          fail(rankTrace.rank, "exit without matching enter: '" + names.name(rec.name) + "'");
+        EventInterval ev;
+        ev.name = rec.name;
+        ev.op = pendingEnter->op;
+        ev.msg = pendingEnter->msg;
+        ev.start = pendingEnter->time;  // absolute for now; rebased at close
+        ev.end = rec.time;
+        current->events.push_back(ev);
+        pendingEnter.reset();
+        break;
+      }
+    }
+  }
+
+  if (pendingEnter) fail(rankTrace.rank, "trace ends inside an open event");
+  if (current) {
+    if (!opts.tolerateGaps) fail(rankTrace.rank, "trace ends inside an open segment");
+    closeCurrent(current->events.empty() ? current->absStart
+                                         : current->absStart + current->events.back().end);
+  }
+  return out;
+}
+
+SegmentedTrace segmentTrace(const Trace& trace, const SegmenterOptions& opts) {
+  SegmenterOptions o = opts;
+  SegmentedTrace out;
+  out.ranks.reserve(static_cast<std::size_t>(trace.numRanks()));
+  // Note: "<gap>" must already be interned when gap tolerance is on; callers
+  // that enable it intern it up front. We look it up once here.
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    RankSegments segs = segmentRank(trace.rank(r), trace.names(), o);
+    out.ranks.push_back(std::move(segs));
+  }
+  return out;
+}
+
+}  // namespace tracered

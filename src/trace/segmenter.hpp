@@ -1,0 +1,33 @@
+// Converts raw per-rank record streams into segments (Sec. 3.1).
+//
+// The simulator emits start_segment/end_segment markers exactly the way the
+// paper's Dyninst instrumentation does (Fig. 1): initialization, every loop
+// iteration, and finalization are bracketed. The segmenter pairs enters with
+// exits inside each bracket, rebases timestamps relative to the segment
+// start, and returns a SegmentedTrace.
+#pragma once
+
+#include "trace/segment.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered {
+
+/// Options controlling segmentation.
+struct SegmenterOptions {
+  /// If true, events found outside any segment bracket are collected into
+  /// synthetic "<gap>" segments instead of raising an error. The paper's
+  /// instrumentation scheme leaves no such events; the simulator shouldn't
+  /// either, so the default is strict.
+  bool tolerateGaps = false;
+};
+
+/// Segments one rank's record stream. Throws std::runtime_error on malformed
+/// input (unbalanced markers, unpaired enter/exit, events outside segments
+/// when !tolerateGaps).
+RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
+                         const SegmenterOptions& opts = {});
+
+/// Segments an entire trace.
+SegmentedTrace segmentTrace(const Trace& trace, const SegmenterOptions& opts = {});
+
+}  // namespace tracered

@@ -1,0 +1,26 @@
+#include "trace/string_table.hpp"
+
+namespace tracered {
+
+const std::string StringTable::kInvalid = "<invalid>";
+
+NameId StringTable::intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+NameId StringTable::find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidName : it->second;
+}
+
+const std::string& StringTable::name(NameId id) const {
+  if (id >= names_.size()) return kInvalid;
+  return names_[id];
+}
+
+}  // namespace tracered

@@ -1,0 +1,38 @@
+// Interned string table mapping function / segment-context names to NameIds.
+//
+// One table is shared by all ranks of a trace; ids are dense and stable in
+// insertion order, which the binary trace formats rely on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace tracered {
+
+/// Bidirectional name <-> id mapping.
+class StringTable {
+ public:
+  /// Interns `name`, returning its id (existing id if already present).
+  NameId intern(std::string_view name);
+
+  /// Looks up an existing name; returns kInvalidName if absent.
+  NameId find(std::string_view name) const;
+
+  /// Name for an id; "<invalid>" if out of range.
+  const std::string& name(NameId id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+  const std::vector<std::string>& all() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> index_;
+  static const std::string kInvalid;
+};
+
+}  // namespace tracered

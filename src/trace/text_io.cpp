@@ -1,0 +1,121 @@
+#include "trace/text_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tracered {
+
+namespace {
+
+constexpr int kMaxOp = static_cast<int>(OpKind::kOther);
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("text trace, line " + std::to_string(line) + ": " + what);
+}
+
+bool msgIsEmpty(const MsgInfo& m) { return m == MsgInfo{}; }
+
+}  // namespace
+
+std::string traceToText(const Trace& trace) {
+  std::ostringstream os;
+  os << "# tracered text trace v1\n";
+  os << "ranks " << trace.numRanks() << '\n';
+  for (NameId id = 0; id < trace.names().size(); ++id)
+    os << "string " << id << ' ' << trace.names().name(id) << '\n';
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    os << "rank " << r << '\n';
+    for (const RawRecord& rec : trace.rank(r).records) {
+      switch (rec.kind) {
+        case RecordKind::kSegBegin:
+          os << "B " << rec.time << ' ' << rec.name << '\n';
+          break;
+        case RecordKind::kSegEnd:
+          os << "E " << rec.time << ' ' << rec.name << '\n';
+          break;
+        case RecordKind::kEnter:
+          os << "> " << rec.time << ' ' << rec.name << ' '
+             << static_cast<int>(rec.op);
+          if (!msgIsEmpty(rec.msg)) {
+            os << ' ' << rec.msg.peer << ' ' << rec.msg.tag << ' ' << rec.msg.root
+               << ' ' << rec.msg.comm << ' ' << rec.msg.bytes;
+          }
+          os << '\n';
+          break;
+        case RecordKind::kExit:
+          os << "< " << rec.time << ' ' << rec.name << '\n';
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+Trace traceFromText(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineNo = 0;
+
+  Trace trace;
+  int declaredRanks = -1;
+  Rank currentRank = -1;
+
+  auto requireRank = [&]() -> RankTrace& {
+    if (currentRank < 0) fail(lineNo, "record before any 'rank' line");
+    return trace.rank(currentRank);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+
+    if (tok == "ranks") {
+      if (!(ls >> declaredRanks) || declaredRanks < 0) fail(lineNo, "bad rank count");
+      for (int i = 0; i < declaredRanks; ++i) trace.addRank();
+    } else if (tok == "string") {
+      NameId id;
+      std::string name;
+      if (!(ls >> id)) fail(lineNo, "bad string id");
+      if (!(ls >> name)) fail(lineNo, "missing string value");
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty()) name += rest;  // names may contain spaces
+      const NameId got = trace.names().intern(name);
+      if (got != id) fail(lineNo, "string ids must be dense and in order");
+    } else if (tok == "rank") {
+      int r;
+      if (!(ls >> r) || r < 0 || r >= trace.numRanks()) fail(lineNo, "bad rank id");
+      currentRank = r;
+    } else if (tok == "B" || tok == "E" || tok == "<") {
+      RawRecord rec;
+      rec.kind = tok == "B"   ? RecordKind::kSegBegin
+                 : tok == "E" ? RecordKind::kSegEnd
+                              : RecordKind::kExit;
+      if (!(ls >> rec.time >> rec.name)) fail(lineNo, "bad record fields");
+      if (rec.name >= trace.names().size()) fail(lineNo, "unknown name id");
+      requireRank().records.push_back(rec);
+    } else if (tok == ">") {
+      RawRecord rec;
+      rec.kind = RecordKind::kEnter;
+      int op;
+      if (!(ls >> rec.time >> rec.name >> op)) fail(lineNo, "bad enter fields");
+      if (rec.name >= trace.names().size()) fail(lineNo, "unknown name id");
+      if (op < 0 || op > kMaxOp) fail(lineNo, "unknown op code");
+      rec.op = static_cast<OpKind>(op);
+      if (ls >> rec.msg.peer) {
+        if (!(ls >> rec.msg.tag >> rec.msg.root >> rec.msg.comm >> rec.msg.bytes))
+          fail(lineNo, "incomplete message info");
+      }
+      requireRank().records.push_back(rec);
+    } else {
+      fail(lineNo, "unknown directive '" + tok + "'");
+    }
+  }
+  if (declaredRanks < 0) fail(lineNo, "missing 'ranks' header");
+  return trace;
+}
+
+}  // namespace tracered

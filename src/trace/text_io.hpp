@@ -1,0 +1,33 @@
+// Human-readable text trace format (writer + parser).
+//
+// The binary formats (trace_io) are what the size evaluation measures; the
+// text format exists for humans: inspecting simulator output, diffing traces
+// in tests, and feeding hand-written traces into the pipeline. Format:
+//
+//   # tracered text trace v1
+//   ranks <n>
+//   string <id> <name>            (one per interned name, in id order)
+//   rank <r>
+//   B <time> <nameId>             segment begin
+//   E <time> <nameId>             segment end
+//   > <time> <nameId> <op> [peer tag root comm bytes]   function enter
+//   < <time> <nameId>             function exit
+//
+// Lines starting with '#' and blank lines are ignored. The parser validates
+// ids and op codes and throws std::runtime_error with a line number on any
+// malformed input.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tracered {
+
+/// Renders a trace in the text format.
+std::string traceToText(const Trace& trace);
+
+/// Parses the text format.
+Trace traceFromText(const std::string& text);
+
+}  // namespace tracered

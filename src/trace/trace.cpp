@@ -1,0 +1,62 @@
+#include "trace/trace.hpp"
+
+#include <stdexcept>
+
+namespace tracered {
+
+std::size_t Trace::totalRecords() const {
+  std::size_t n = 0;
+  for (const auto& r : ranks_) n += r.records.size();
+  return n;
+}
+
+RankTrace& Trace::addRank() {
+  ranks_.emplace_back();
+  ranks_.back().rank = static_cast<Rank>(ranks_.size() - 1);
+  return ranks_.back();
+}
+
+void RankTraceWriter::push(RawRecord rec) {
+  if (rec.time < last_) {
+    throw std::logic_error("RankTraceWriter: non-monotonic timestamp on rank " +
+                           std::to_string(rank_));
+  }
+  last_ = rec.time;
+  trace_.rank(rank_).records.push_back(rec);
+}
+
+void RankTraceWriter::enter(std::string_view fn, OpKind op, TimeUs t, const MsgInfo& msg) {
+  RawRecord rec;
+  rec.kind = RecordKind::kEnter;
+  rec.op = op;
+  rec.name = trace_.names().intern(fn);
+  rec.time = t;
+  rec.msg = msg;
+  push(rec);
+}
+
+void RankTraceWriter::exit(std::string_view fn, TimeUs t) {
+  RawRecord rec;
+  rec.kind = RecordKind::kExit;
+  rec.name = trace_.names().intern(fn);
+  rec.time = t;
+  push(rec);
+}
+
+void RankTraceWriter::segBegin(std::string_view context, TimeUs t) {
+  RawRecord rec;
+  rec.kind = RecordKind::kSegBegin;
+  rec.name = trace_.names().intern(context);
+  rec.time = t;
+  push(rec);
+}
+
+void RankTraceWriter::segEnd(std::string_view context, TimeUs t) {
+  RawRecord rec;
+  rec.kind = RecordKind::kSegEnd;
+  rec.name = trace_.names().intern(context);
+  rec.time = t;
+  push(rec);
+}
+
+}  // namespace tracered

@@ -1,0 +1,75 @@
+// Whole-application trace container and the per-rank builder API that the
+// MPI simulator uses to emit events.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered {
+
+/// Raw record stream of a single rank.
+struct RankTrace {
+  Rank rank = 0;
+  std::vector<RawRecord> records;
+};
+
+/// A full application trace: one record stream per rank plus a shared string
+/// table. This is what the simulator produces and what the trace file formats
+/// serialize.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(int numRanks) { ranks_.resize(numRanks); reindexRanks(); }
+
+  int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+  RankTrace& rank(Rank r) { return ranks_.at(static_cast<std::size_t>(r)); }
+  const RankTrace& rank(Rank r) const { return ranks_.at(static_cast<std::size_t>(r)); }
+
+  StringTable& names() { return names_; }
+  const StringTable& names() const { return names_; }
+
+  /// Total number of raw records across all ranks.
+  std::size_t totalRecords() const;
+
+  /// Appends an empty rank and returns it.
+  RankTrace& addRank();
+
+ private:
+  void reindexRanks() {
+    for (std::size_t i = 0; i < ranks_.size(); ++i) ranks_[i].rank = static_cast<Rank>(i);
+  }
+
+  StringTable names_;
+  std::vector<RankTrace> ranks_;
+};
+
+/// Append-only writer for one rank of a Trace. Enforces non-decreasing
+/// timestamps, which every consumer (segmenter, analyzer, file format)
+/// assumes.
+class RankTraceWriter {
+ public:
+  RankTraceWriter(Trace& trace, Rank rank) : trace_(trace), rank_(rank) {}
+
+  void enter(std::string_view fn, OpKind op, TimeUs t, const MsgInfo& msg = {});
+  void exit(std::string_view fn, TimeUs t);
+  void segBegin(std::string_view context, TimeUs t);
+  void segEnd(std::string_view context, TimeUs t);
+
+  Rank rank() const { return rank_; }
+
+ private:
+  void push(RawRecord rec);
+
+  Trace& trace_;
+  Rank rank_;
+  TimeUs last_ = 0;
+};
+
+}  // namespace tracered

@@ -1,0 +1,47 @@
+// Binary trace file formats.
+//
+// The "percentage of full trace file size" criterion (Sec. 4.3.1) is computed
+// from the serialized byte counts of these two formats:
+//
+//   * Full format  ("TRF1"): every raw record of every rank, delta-encoded.
+//   * Reduced format ("TRR1"): per rank, the stored representative segments
+//     plus the segment-execution table.
+//
+// Both use the same event encoding so the ratio between them reflects the
+// reduction achieved by segment matching rather than encoding tricks. Readers
+// fully validate and round-trip the writers' output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/reduced_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered {
+
+/// Serializes a full trace. The returned buffer is the "file".
+std::vector<std::uint8_t> serializeFullTrace(const Trace& trace);
+
+/// Parses a full trace; throws std::runtime_error / std::out_of_range on
+/// malformed input.
+Trace deserializeFullTrace(const std::vector<std::uint8_t>& bytes);
+
+/// Serializes a reduced trace.
+std::vector<std::uint8_t> serializeReducedTrace(const ReducedTrace& reduced);
+
+/// Parses a reduced trace.
+ReducedTrace deserializeReducedTrace(const std::vector<std::uint8_t>& bytes);
+
+/// Convenience: serialized sizes without keeping the buffers.
+std::size_t fullTraceSize(const Trace& trace);
+std::size_t reducedTraceSize(const ReducedTrace& reduced);
+
+/// Writes `bytes` to `path` (used by examples that want real files on disk).
+void writeFile(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Reads a whole file.
+std::vector<std::uint8_t> readFile(const std::string& path);
+
+}  // namespace tracered

@@ -1,0 +1,48 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace tracered {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "true";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& dflt) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? dflt : it->second;
+}
+
+std::int64_t CliArgs::getInt(const std::string& key, std::int64_t dflt) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::getDouble(const std::string& key, double dflt) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CliArgs::getBool(const std::string& key, bool dflt) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return dflt;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace tracered

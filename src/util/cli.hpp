@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing shared by benches and examples.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms. Unknown
+// flags are collected so binaries can report them instead of silently
+// ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tracered {
+
+/// Parsed command line: flag map plus positional arguments.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return flags_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& dflt = "") const;
+  std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
+  double getDouble(const std::string& key, double dflt) const;
+  bool getBool(const std::string& key, bool dflt = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& programName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tracered

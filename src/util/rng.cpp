@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+namespace tracered {
+
+namespace {
+
+// FNV-1a 64-bit over a C string.
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t seedFor(const char* tag, std::uint64_t base, std::int64_t rank) {
+  std::uint64_t h = fnv1a(tag);
+  h ^= base + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= static_cast<std::uint64_t>(rank) * 0xff51afd7ed558ccdull;
+  // Final avalanche (from MurmurHash3 fmix64).
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace tracered

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Everything in tracered that involves randomness (measurement jitter, noise
+// schedules, workload variation) draws from SplitMix64 streams seeded from
+// explicit (workload, rank) tuples, so every experiment in the paper
+// reproduction is bit-exact across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace tracered {
+
+/// SplitMix64: tiny, high-quality, splittable PRNG (Steele et al., OOPSLA'14).
+/// Used instead of <random> engines so that streams are cheap to fork and the
+/// output sequence is stable across standard library implementations.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Approximately normal deviate (mean 0, stddev 1), via sum of uniforms
+  /// (Irwin–Hall with 12 summands). Good enough for jitter modelling and has
+  /// bounded tails, which keeps simulated timestamps well-behaved.
+  double nextGaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += nextDouble();
+    return s - 6.0;
+  }
+
+  /// Fork an independent stream identified by `salt`.
+  SplitMix64 split(std::uint64_t salt) const {
+    SplitMix64 tmp(state_ ^ (salt * 0xd6e8feb86659fd93ull + 0xa5a5a5a5a5a5a5a5ull));
+    tmp.next();
+    return tmp;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit seed derived from a workload name and rank, so that per-rank
+/// jitter streams are independent but reproducible.
+std::uint64_t seedFor(const char* tag, std::uint64_t base, std::int64_t rank);
+
+}  // namespace tracered

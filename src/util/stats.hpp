@@ -1,0 +1,52 @@
+// Small statistics helpers used by the evaluation framework (approximation
+// distance percentiles, severity comparisons, summary tables).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tracered {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) using linear interpolation between closest
+/// ranks (the "exclusive" convention used by numpy's default). The input is
+/// copied and sorted. Returns 0 for an empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::vector<double> xs);
+
+/// Pearson correlation of two equally sized vectors. Returns 1.0 when either
+/// vector is (numerically) constant — a flat profile trivially "has the same
+/// shape" as anything, which is the semantics the trend comparator wants.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Sum of all elements.
+double sum(const std::vector<double>& xs);
+
+/// max(|x|) over the vector; 0 for an empty input.
+double maxAbs(const std::vector<double>& xs);
+
+/// Incremental mean/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double total() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tracered

@@ -1,0 +1,43 @@
+// Plain-text table and CSV rendering for the benchmark harnesses.
+//
+// Every bench binary prints both a human-aligned table (for eyeballing against
+// the paper's figures) and CSV rows (for plotting), via this one formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tracered {
+
+/// Column-aligned text table with optional CSV emission.
+class TextTable {
+ public:
+  /// Sets the header row (also used for CSV).
+  void header(std::vector<std::string> cols);
+
+  /// Appends a data row. Rows shorter than the header are right-padded.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the aligned table (header, rule, rows).
+  std::string str() const;
+
+  /// Renders as CSV (RFC-4180-ish quoting of commas/quotes/newlines).
+  std::string csv() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmtF(double v, int prec = 2);
+
+/// Formats a double as a percentage string, e.g. 12.34 -> "12.34%".
+std::string fmtPct(double v, int prec = 2);
+
+/// Formats a byte count with binary units (B, KiB, MiB).
+std::string fmtBytes(std::size_t bytes);
+
+}  // namespace tracered

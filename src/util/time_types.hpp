@@ -1,0 +1,34 @@
+// Basic time and identifier types shared by the whole library.
+//
+// All timestamps in tracered are integer microseconds (`TimeUs`).  The paper's
+// absDiff thresholds (10^1 .. 10^6) and its ~1 ms benchmark work periods are
+// both consistent with a microsecond tick, and integer time keeps every
+// simulation and reduction bit-exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace tracered {
+
+/// Timestamp / duration in integer microseconds.
+using TimeUs = std::int64_t;
+
+/// Rank (process) index within a simulated job.
+using Rank = std::int32_t;
+
+/// Index into a trace's string table (function / context names).
+using NameId = std::uint32_t;
+
+/// Identifier of a stored representative segment within one rank's reduction.
+using SegmentId = std::uint32_t;
+
+/// Sentinel for "no name".
+inline constexpr NameId kInvalidName = 0xffffffffu;
+
+/// One millisecond in TimeUs ticks.
+inline constexpr TimeUs kMillisecond = 1000;
+
+/// One second in TimeUs ticks.
+inline constexpr TimeUs kSecond = 1000 * 1000;
+
+}  // namespace tracered

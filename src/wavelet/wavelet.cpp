@@ -1,0 +1,118 @@
+#include "wavelet/wavelet.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace tracered::wavelet {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+bool isPow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void requirePow2(const std::vector<double>& v, const char* who) {
+  if (!isPow2(v.size()))
+    throw std::invalid_argument(std::string(who) + ": length must be a power of two");
+}
+
+template <typename Fwd>
+std::vector<double> pyramid(std::vector<double> v, Fwd step) {
+  requirePow2(v, "wavelet transform");
+  for (std::size_t len = v.size(); len >= 2; len /= 2) step(v, len);
+  return v;
+}
+
+void avgInverseStep(std::vector<double>& v, std::size_t len) {
+  std::vector<double> tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[2 * i] = v[i] + v[half + i];
+    tmp[2 * i + 1] = v[i] - v[half + i];
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+void haarInverseStep(std::vector<double>& v, std::size_t len) {
+  std::vector<double> tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[2 * i] = (v[i] + v[half + i]) / kSqrt2;
+    tmp[2 * i + 1] = (v[i] - v[half + i]) / kSqrt2;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+template <typename Inv>
+std::vector<double> inversePyramid(std::vector<double> v, Inv step) {
+  requirePow2(v, "wavelet inverse");
+  for (std::size_t len = 2; len <= v.size(); len *= 2) step(v, len);
+  return v;
+}
+
+}  // namespace
+
+std::size_t nextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+std::vector<double> padToPow2(std::vector<double> v) {
+  v.resize(nextPow2(v.size()), 0.0);
+  return v;
+}
+
+void avgStep(std::vector<double>& v, std::size_t len) {
+  assert(len % 2 == 0 && len <= v.size());
+  std::vector<double> tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[i] = (v[2 * i] + v[2 * i + 1]) / 2.0;
+    tmp[half + i] = (v[2 * i] - v[2 * i + 1]) / 2.0;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+void haarStep(std::vector<double>& v, std::size_t len) {
+  assert(len % 2 == 0 && len <= v.size());
+  std::vector<double> tmp(len);
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    tmp[i] = (v[2 * i] + v[2 * i + 1]) / kSqrt2;
+    tmp[half + i] = (v[2 * i] - v[2 * i + 1]) / kSqrt2;
+  }
+  for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+}
+
+std::vector<double> avgTransform(std::vector<double> v) {
+  return pyramid(std::move(v), [](std::vector<double>& x, std::size_t len) { avgStep(x, len); });
+}
+
+std::vector<double> haarTransform(std::vector<double> v) {
+  return pyramid(std::move(v), [](std::vector<double>& x, std::size_t len) { haarStep(x, len); });
+}
+
+std::vector<double> avgInverse(std::vector<double> v) {
+  return inversePyramid(std::move(v),
+                        [](std::vector<double>& x, std::size_t len) { avgInverseStep(x, len); });
+}
+
+std::vector<double> haarInverse(std::vector<double> v) {
+  return inversePyramid(std::move(v),
+                        [](std::vector<double>& x, std::size_t len) { haarInverseStep(x, len); });
+}
+
+double euclideanDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("euclideanDistance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace tracered::wavelet

@@ -1,0 +1,230 @@
+// Tests for the EXPERT-like analyzer and the severity cube on hand-crafted
+// traces with known waiting structure.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/render.hpp"
+#include "analysis/severity.hpp"
+#include "test_helpers.hpp"
+
+namespace tracered::analysis {
+namespace {
+
+using tracered::testing::Ev;
+using tracered::testing::makeSegment;
+
+struct TwoRankTrace {
+  StringTable names;
+  SegmentedTrace st;
+};
+
+/// Rank 0 sends at t=1000 (enter), rank 1 posts its recv at t=100 and exits
+/// at t=1020: a 900 µs Late Sender wait.
+TwoRankTrace lateSenderTrace(bool sync) {
+  TwoRankTrace t;
+  t.st.ranks.resize(2);
+  t.st.ranks[0].rank = 0;
+  t.st.ranks[1].rank = 1;
+  MsgInfo toOne;
+  toOne.peer = 1;
+  toOne.tag = 5;
+  toOne.bytes = 64;
+  toOne.comm = 0;
+  MsgInfo fromZero = toOne;
+  fromZero.peer = 0;
+  t.st.ranks[0].segments.push_back(makeSegment(
+      t.names, "main.1", 0, 1100,
+      {{"do_work", OpKind::kCompute, 0, 1000, {}},
+       {sync ? "MPI_Ssend" : "MPI_Send", sync ? OpKind::kSsend : OpKind::kSend, 1000,
+        1010, toOne}},
+      0));
+  t.st.ranks[1].segments.push_back(makeSegment(
+      t.names, "main.1", 0, 1100,
+      {{"do_work", OpKind::kCompute, 0, 100, {}},
+       {"MPI_Recv", OpKind::kRecv, 100, 1020, fromZero}},
+      1));
+  return t;
+}
+
+TEST(Analyzer, DetectsLateSender) {
+  const TwoRankTrace t = lateSenderTrace(false);
+  const SeverityCube cube = analyze(t.st);
+  const NameId recv = t.names.find("MPI_Recv");
+  EXPECT_DOUBLE_EQ(cube.total(Metric::kLateSender, recv), 900.0);
+  EXPECT_DOUBLE_EQ(cube.profile(Metric::kLateSender, recv)[1], 900.0);
+  EXPECT_DOUBLE_EQ(cube.profile(Metric::kLateSender, recv)[0], 0.0);
+  EXPECT_DOUBLE_EQ(cube.metricTotal(Metric::kLateReceiver), 0.0);
+}
+
+TEST(Analyzer, DetectsLateReceiverForSsendOnly) {
+  // Flip the roles: receiver enters at 1000, sync sender at 100.
+  TwoRankTrace t;
+  t.st.ranks.resize(2);
+  t.st.ranks[0].rank = 0;
+  t.st.ranks[1].rank = 1;
+  MsgInfo toOne;
+  toOne.peer = 1;
+  toOne.tag = 5;
+  toOne.bytes = 64;
+  toOne.comm = 0;
+  MsgInfo fromZero = toOne;
+  fromZero.peer = 0;
+  t.st.ranks[0].segments.push_back(makeSegment(
+      t.names, "main.1", 0, 1100,
+      {{"do_work", OpKind::kCompute, 0, 100, {}},
+       {"MPI_Ssend", OpKind::kSsend, 100, 1020, toOne}},
+      0));
+  t.st.ranks[1].segments.push_back(makeSegment(
+      t.names, "main.1", 0, 1100,
+      {{"do_work", OpKind::kCompute, 0, 1000, {}},
+       {"MPI_Recv", OpKind::kRecv, 1000, 1030, fromZero}},
+      1));
+  const SeverityCube cube = analyze(t.st);
+  const NameId ssend = t.names.find("MPI_Ssend");
+  EXPECT_DOUBLE_EQ(cube.total(Metric::kLateReceiver, ssend), 900.0);
+  EXPECT_DOUBLE_EQ(cube.profile(Metric::kLateReceiver, ssend)[0], 900.0);
+  EXPECT_DOUBLE_EQ(cube.metricTotal(Metric::kLateSender), 0.0);
+}
+
+TEST(Analyzer, LateSenderWaitClampedToRecvDuration) {
+  TwoRankTrace t = lateSenderTrace(false);
+  // Shrink the receive so the raw wait (900) exceeds its duration (20).
+  t.st.ranks[1].segments[0].events[1].start = 990;
+  t.st.ranks[1].segments[0].events[1].end = 1010;
+  const SeverityCube cube = analyze(t.st);
+  const NameId recv = t.names.find("MPI_Recv");
+  EXPECT_DOUBLE_EQ(cube.total(Metric::kLateSender, recv), 10.0);
+}
+
+/// Four ranks entering a collective at staggered times.
+TwoRankTrace staggeredCollective(OpKind op, const char* fn, Rank root) {
+  TwoRankTrace t;
+  t.st.ranks.resize(4);
+  for (int r = 0; r < 4; ++r) {
+    t.st.ranks[static_cast<std::size_t>(r)].rank = r;
+    MsgInfo m;
+    m.root = root;
+    m.comm = 0;
+    m.bytes = 32;
+    const TimeUs enter = 100 + 200 * r;  // rank 3 enters last at 700
+    t.st.ranks[static_cast<std::size_t>(r)].segments.push_back(makeSegment(
+        t.names, "main.1", 0, 1000,
+        {{"do_work", OpKind::kCompute, 0, enter, {}},
+         {fn, op, enter, 750, m}},
+        r));
+  }
+  return t;
+}
+
+TEST(Analyzer, WaitAtBarrierMeasuresEnterSkew) {
+  const TwoRankTrace t = staggeredCollective(OpKind::kBarrier, "MPI_Barrier", -1);
+  const SeverityCube cube = analyze(t.st);
+  const NameId fn = t.names.find("MPI_Barrier");
+  const auto profile = cube.profile(Metric::kWaitAtBarrier, fn);
+  EXPECT_DOUBLE_EQ(profile[0], 600.0);  // entered at 100, last at 700
+  EXPECT_DOUBLE_EQ(profile[1], 400.0);
+  EXPECT_DOUBLE_EQ(profile[2], 200.0);
+  EXPECT_DOUBLE_EQ(profile[3], 0.0);
+  EXPECT_DOUBLE_EQ(cube.metricTotal(Metric::kWaitAtNxN), 0.0);
+}
+
+TEST(Analyzer, AlltoallGoesToWaitAtNxN) {
+  const TwoRankTrace t = staggeredCollective(OpKind::kAlltoall, "MPI_Alltoall", -1);
+  const SeverityCube cube = analyze(t.st);
+  EXPECT_GT(cube.metricTotal(Metric::kWaitAtNxN), 0.0);
+  EXPECT_DOUBLE_EQ(cube.metricTotal(Metric::kWaitAtBarrier), 0.0);
+}
+
+TEST(Analyzer, EarlyReduceChargedToEarlyRoot) {
+  // Root (rank 0) enters at 100; the last sender arrives at 700, so the
+  // root's blocking time is 600 µs.
+  const TwoRankTrace t = staggeredCollective(OpKind::kGather, "MPI_Gather", 0);
+  const SeverityCube cube = analyze(t.st);
+  const NameId fn = t.names.find("MPI_Gather");
+  const auto profile = cube.profile(Metric::kEarlyReduce, fn);
+  EXPECT_DOUBLE_EQ(profile[0], 600.0);
+  EXPECT_DOUBLE_EQ(profile[1], 0.0);
+}
+
+TEST(Analyzer, NoEarlyReduceWhenRootIsLate) {
+  // Root = rank 3 (enters last): no early-reduce wait.
+  const TwoRankTrace t = staggeredCollective(OpKind::kGather, "MPI_Gather", 3);
+  const SeverityCube cube = analyze(t.st);
+  EXPECT_DOUBLE_EQ(cube.metricTotal(Metric::kEarlyReduce), 0.0);
+}
+
+TEST(Analyzer, LateBroadcastChargedToWaitingNonRoots) {
+  // Root = rank 3 enters at 700; ranks 0..2 waited since 100/300/500.
+  const TwoRankTrace t = staggeredCollective(OpKind::kBcast, "MPI_Bcast", 3);
+  const SeverityCube cube = analyze(t.st);
+  const NameId fn = t.names.find("MPI_Bcast");
+  const auto profile = cube.profile(Metric::kLateBroadcast, fn);
+  EXPECT_DOUBLE_EQ(profile[0], 600.0);
+  EXPECT_DOUBLE_EQ(profile[1], 400.0);
+  EXPECT_DOUBLE_EQ(profile[2], 200.0);
+  EXPECT_DOUBLE_EQ(profile[3], 0.0);
+}
+
+TEST(Analyzer, ExecutionTimeAccumulatesInclusive) {
+  const TwoRankTrace t = lateSenderTrace(false);
+  const SeverityCube cube = analyze(t.st);
+  const NameId work = t.names.find("do_work");
+  EXPECT_DOUBLE_EQ(cube.profile(Metric::kExecutionTime, work)[0], 1000.0);
+  EXPECT_DOUBLE_EQ(cube.profile(Metric::kExecutionTime, work)[1], 100.0);
+}
+
+TEST(Cube, DominantWaitPicksLargestCell) {
+  SeverityCube cube(2);
+  cube.add(Metric::kLateSender, 1, 0, 50.0);
+  cube.add(Metric::kWaitAtNxN, 2, 1, 500.0);
+  const CubeCell dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, Metric::kWaitAtNxN);
+  EXPECT_EQ(dom.callsite, 2u);
+  EXPECT_DOUBLE_EQ(dom.total(), 500.0);
+}
+
+TEST(Cube, DominantWaitIgnoresExecutionTime) {
+  SeverityCube cube(2);
+  cube.add(Metric::kExecutionTime, 1, 0, 5000.0);
+  cube.add(Metric::kLateSender, 2, 1, 10.0);
+  EXPECT_EQ(cube.dominantWait().metric, Metric::kLateSender);
+}
+
+TEST(Cube, EmptyCubeHasNoDominant) {
+  SeverityCube cube(4);
+  EXPECT_EQ(cube.dominantWait().callsite, kInvalidName);
+}
+
+TEST(Cube, DiffIsSignedAndAligned) {
+  SeverityCube a(2), b(2);
+  a.add(Metric::kLateSender, 1, 0, 100.0);
+  b.add(Metric::kLateSender, 1, 0, 140.0);
+  b.add(Metric::kWaitAtNxN, 2, 1, 30.0);
+  const SeverityCube d = a.diff(b);
+  EXPECT_DOUBLE_EQ(d.total(Metric::kLateSender, 1), -40.0);
+  EXPECT_DOUBLE_EQ(d.total(Metric::kWaitAtNxN, 2), -30.0);
+}
+
+TEST(Cube, DiffRejectsRankMismatch) {
+  SeverityCube a(2), b(3);
+  EXPECT_THROW(a.diff(b), std::invalid_argument);
+}
+
+TEST(Render, ProfileDigitsScale) {
+  const std::string s = renderProfile({0.0, 450.0, 900.0}, 900.0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], '.');
+  EXPECT_EQ(s[1], '5');
+  EXPECT_EQ(s[2], '9');
+}
+
+TEST(Render, CubeRenderingMentionsTopCells) {
+  const TwoRankTrace t = lateSenderTrace(false);
+  const SeverityCube cube = analyze(t.st);
+  const std::string s = renderCube(cube, t.names, 5);
+  EXPECT_NE(s.find("LS"), std::string::npos);
+  EXPECT_NE(s.find("MPI_Recv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tracered::analysis

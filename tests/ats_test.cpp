@@ -1,0 +1,166 @@
+// Tests for the ATS-style benchmark generators: each benchmark must exhibit
+// its documented performance behaviour (that's the whole point of ATS).
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "ats/ats.hpp"
+#include "trace/segmenter.hpp"
+
+namespace tracered::ats {
+namespace {
+
+AtsConfig tinyConfig() {
+  AtsConfig cfg;
+  cfg.iterations = 20;
+  cfg.interferenceIters = 30;
+  cfg.dynLoadIters = 26;
+  return cfg;
+}
+
+analysis::SeverityCube diagnose(const std::string& name, const AtsConfig& cfg) {
+  const Trace trace = runBenchmark(name, cfg);
+  return analysis::analyze(segmentTrace(trace));
+}
+
+TEST(Ats, RegistryHasSixteenBenchmarks) {
+  EXPECT_EQ(benchmarkNames().size(), 16u);
+  for (const auto& n : benchmarkNames()) EXPECT_TRUE(isBenchmark(n));
+  EXPECT_FALSE(isBenchmark("nope"));
+  EXPECT_THROW(makeBenchmark("nope"), std::invalid_argument);
+}
+
+TEST(Ats, AllBenchmarksSimulateAndSegment) {
+  const AtsConfig cfg = tinyConfig();
+  for (const auto& name : benchmarkNames()) {
+    const Trace trace = runBenchmark(name, cfg);
+    EXPECT_GT(trace.totalRecords(), 0u) << name;
+    EXPECT_NO_THROW(segmentTrace(trace)) << name;
+  }
+}
+
+TEST(Ats, LateSenderShowsLateSenderDiagnosis) {
+  const auto cube = diagnose("late_sender", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kLateSender);
+  // Odd ranks (receivers) carry the severity; even ranks none.
+  EXPECT_GT(dom.perRank[1], 0.0);
+  EXPECT_DOUBLE_EQ(dom.perRank[0], 0.0);
+  // ~1 ms per iteration per receiving rank.
+  EXPECT_GT(dom.total(), 4 * tinyConfig().iterations * 800.0);
+}
+
+TEST(Ats, LateReceiverShowsLateReceiverDiagnosis) {
+  const auto cube = diagnose("late_receiver", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kLateReceiver);
+  // Even ranks (synchronous senders) carry the severity.
+  EXPECT_GT(dom.perRank[0], 0.0);
+  EXPECT_DOUBLE_EQ(dom.perRank[1], 0.0);
+}
+
+TEST(Ats, EarlyGatherShowsEarlyReduceAtRoot) {
+  const auto cube = diagnose("early_gather", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kEarlyReduce);
+  // Severity concentrated on the root (rank 0).
+  for (std::size_t r = 1; r < dom.perRank.size(); ++r)
+    EXPECT_LT(dom.perRank[r], dom.perRank[0] / 100.0 + 1.0);
+}
+
+TEST(Ats, LateBroadcastShowsLateBroadcastOnNonRoots) {
+  const auto cube = diagnose("late_broadcast", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kLateBroadcast);
+  EXPECT_DOUBLE_EQ(dom.perRank[0], 0.0);  // root never waits on itself
+  for (std::size_t r = 1; r < dom.perRank.size(); ++r) EXPECT_GT(dom.perRank[r], 0.0);
+}
+
+TEST(Ats, ImbalanceAtBarrierWaitsDecreaseWithRank) {
+  const auto cube = diagnose("imbalance_at_mpi_barrier", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kWaitAtBarrier);
+  // Work grows with rank, so waiting falls with rank.
+  EXPECT_GT(dom.perRank[0], dom.perRank[7]);
+  EXPECT_GT(dom.perRank[0], 2.0 * dom.perRank[6]);
+}
+
+TEST(Ats, DynLoadBalanceSplitsUpperAndLowerRanks) {
+  const auto cube = diagnose("dyn_load_balance", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kWaitAtNxN);
+  // Lower half (less work) waits in MPI_Alltoall; upper half barely.
+  const double lower = dom.perRank[0] + dom.perRank[1] + dom.perRank[2] + dom.perRank[3];
+  const double upper = dom.perRank[4] + dom.perRank[5] + dom.perRank[6] + dom.perRank[7];
+  EXPECT_GT(lower, 3.0 * upper);
+}
+
+TEST(Ats, DynLoadBalanceHasRebalanceIterations) {
+  const Trace trace = runBenchmark("dyn_load_balance", tinyConfig());
+  const NameId lb = trace.names().find("load_balance");
+  ASSERT_NE(lb, kInvalidName);
+  int count = 0;
+  for (const auto& rec : trace.rank(0).records)
+    if (rec.kind == RecordKind::kEnter && rec.name == lb) ++count;
+  EXPECT_GE(count, 1);  // at least one rebalance in 26 iterations
+}
+
+TEST(Ats, InterferenceBenchmarksAreBalancedButDisturbed) {
+  // NtoN_1024: identical nominal work everywhere; all Wait-at-NxN severity
+  // is noise-induced and therefore nonzero but far below the work total.
+  const auto cube = diagnose("NtoN_1024", tinyConfig());
+  const auto dom = cube.dominantWait();
+  EXPECT_EQ(dom.metric, analysis::Metric::kWaitAtNxN);
+  EXPECT_GT(dom.total(), 0.0);
+  const double exec = cube.metricTotal(analysis::Metric::kExecutionTime);
+  EXPECT_LT(dom.total(), exec);
+}
+
+TEST(Ats, Interference1024IsWorseThan32) {
+  const AtsConfig cfg = tinyConfig();
+  const auto c32 = diagnose("NtoN_32", cfg);
+  const auto c1024 = diagnose("NtoN_1024", cfg);
+  EXPECT_GT(c1024.metricTotal(analysis::Metric::kWaitAtNxN),
+            c32.metricTotal(analysis::Metric::kWaitAtNxN));
+}
+
+TEST(Ats, Interference1to1rUsesSsend) {
+  const Trace trace = runBenchmark("1to1r_32", tinyConfig());
+  EXPECT_NE(trace.names().find("MPI_Ssend"), kInvalidName);
+  const auto cube = analysis::analyze(segmentTrace(trace));
+  // Late Receiver severity exists (noise on receivers blocks senders).
+  EXPECT_GT(cube.metricTotal(analysis::Metric::kLateReceiver), 0.0);
+}
+
+TEST(Ats, Interference1to1sPingPongs) {
+  const Trace trace = runBenchmark("1to1s_32", tinyConfig());
+  EXPECT_NE(trace.names().find("MPI_Send"), kInvalidName);
+  EXPECT_EQ(trace.names().find("MPI_Ssend"), kInvalidName);
+  const auto cube = analysis::analyze(segmentTrace(trace));
+  EXPECT_GT(cube.metricTotal(analysis::Metric::kLateSender), 0.0);
+}
+
+TEST(Ats, RegularBenchmarksUse8Ranks) {
+  for (const char* name :
+       {"late_sender", "late_receiver", "early_gather", "late_broadcast",
+        "imbalance_at_mpi_barrier", "dyn_load_balance"}) {
+    EXPECT_EQ(runBenchmark(name, tinyConfig()).numRanks(), 8) << name;
+  }
+}
+
+TEST(Ats, InterferenceBenchmarksUse32Ranks) {
+  EXPECT_EQ(runBenchmark("Nto1_32", tinyConfig()).numRanks(), 32);
+  EXPECT_EQ(runBenchmark("1toN_1024", tinyConfig()).numRanks(), 32);
+}
+
+TEST(Ats, DeterministicForFixedSeed) {
+  const AtsConfig cfg = tinyConfig();
+  const Trace a = runBenchmark("late_sender", cfg);
+  const Trace b = runBenchmark("late_sender", cfg);
+  ASSERT_EQ(a.totalRecords(), b.totalRecords());
+  for (Rank r = 0; r < a.numRanks(); ++r)
+    for (std::size_t i = 0; i < a.rank(r).records.size(); ++i)
+      ASSERT_EQ(a.rank(r).records[i], b.rank(r).records[i]);
+}
+
+}  // namespace
+}  // namespace tracered::ats

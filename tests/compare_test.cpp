@@ -1,0 +1,153 @@
+// Tests for the trend-retention comparator: each guideline triggers the
+// documented verdict.
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+
+namespace tracered::analysis {
+namespace {
+
+SeverityCube baseCube() {
+  SeverityCube cube(4);
+  // Dominant problem: 1 s of Late Sender at callsite 1, shaped profile.
+  cube.add(Metric::kLateSender, 1, 0, 0.0);
+  cube.add(Metric::kLateSender, 1, 1, 500000.0);
+  cube.add(Metric::kLateSender, 1, 2, 0.0);
+  cube.add(Metric::kLateSender, 1, 3, 500000.0);
+  // Some execution time for context.
+  for (int r = 0; r < 4; ++r) cube.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  return cube;
+}
+
+TEST(Compare, IdenticalCubesRetain) {
+  const SeverityCube full = baseCube();
+  const TrendComparison c = compareTrends(full, full);
+  EXPECT_EQ(c.verdict, Verdict::kRetained);
+  EXPECT_FALSE(c.dominantChanged);
+  EXPECT_FALSE(c.disparityLost);
+  EXPECT_FALSE(c.negativeDiagnosis);
+  EXPECT_DOUBLE_EQ(c.relError, 0.0);
+  EXPECT_NEAR(c.correlation, 1.0, 1e-12);
+}
+
+TEST(Compare, SmallErrorRetains) {
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  red.add(Metric::kLateSender, 1, 1, 450000.0);
+  red.add(Metric::kLateSender, 1, 3, 550000.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kRetained);
+}
+
+TEST(Compare, ModerateUnderestimateDegrades) {
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  red.add(Metric::kLateSender, 1, 1, 250000.0);
+  red.add(Metric::kLateSender, 1, 3, 250000.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kDegraded);
+  EXPECT_TRUE(c.negativeDiagnosis);  // reduced - full strongly negative
+}
+
+TEST(Compare, SevereUnderestimateLoses) {
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  red.add(Metric::kLateSender, 1, 1, 50000.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
+  EXPECT_TRUE(c.negativeDiagnosis);
+}
+
+TEST(Compare, DominantChangeLoses) {
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  // Late Sender vanished; a huge Wait-at-NxN appeared elsewhere.
+  red.add(Metric::kWaitAtNxN, 7, 0, 2000000.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
+  EXPECT_TRUE(c.dominantChanged);
+}
+
+TEST(Compare, DisparityLossLoses) {
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  // Same total, but spread evenly: the rank disparity is gone (profile
+  // anti-correlated with the full trace's 0/500k/0/500k shape).
+  red.add(Metric::kLateSender, 1, 0, 500000.0);
+  red.add(Metric::kLateSender, 1, 1, 0.0);
+  red.add(Metric::kLateSender, 1, 2, 500000.0);
+  red.add(Metric::kLateSender, 1, 3, 0.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
+  EXPECT_TRUE(c.disparityLost);
+}
+
+TEST(Compare, SpuriousDiagnosisLoses) {
+  const SeverityCube full = baseCube();
+  SeverityCube red = baseCube();
+  // The reduction invented a second problem almost as big as the real one.
+  red.add(Metric::kWaitAtBarrier, 9, 2, 800000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
+  EXPECT_TRUE(c.spuriousDiagnosis);
+}
+
+TEST(Compare, NoProblemAnywhereRetains) {
+  SeverityCube full(4), red(4);
+  for (int r = 0; r < 4; ++r) {
+    full.add(Metric::kExecutionTime, 0, r, 1000000.0);
+    red.add(Metric::kExecutionTime, 0, r, 1000000.0);
+  }
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kRetained);
+}
+
+TEST(Compare, InventedProblemOnCleanTraceLoses) {
+  SeverityCube full(4), red(4);
+  for (int r = 0; r < 4; ++r) {
+    full.add(Metric::kExecutionTime, 0, r, 1000000.0);
+    red.add(Metric::kExecutionTime, 0, r, 1000000.0);
+  }
+  red.add(Metric::kLateSender, 1, 2, 900000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
+  EXPECT_TRUE(c.spuriousDiagnosis);
+}
+
+TEST(Compare, ExecDisparityLossDegrades) {
+  SeverityCube full = baseCube();
+  // Add a shaped execution-time cell (do_work imbalance).
+  for (int r = 0; r < 4; ++r)
+    full.add(Metric::kExecutionTime, 5, r, r < 2 ? 500000.0 : 3000000.0);
+  SeverityCube red = baseCube();
+  // Reduced trace flattens do_work to its mean everywhere.
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 5, r, 1750000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kDegraded);
+  EXPECT_TRUE(c.disparityLost);
+}
+
+TEST(Compare, UniformProfilesAreNotShapeChecked) {
+  SeverityCube full(4), red(4);
+  for (int r = 0; r < 4; ++r) {
+    full.add(Metric::kWaitAtNxN, 1, r, 100000.0);
+    // Slightly noisy but flat reduced profile.
+    red.add(Metric::kWaitAtNxN, 1, r, 100000.0 + 1000.0 * r);
+  }
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_EQ(c.verdict, Verdict::kRetained);
+}
+
+TEST(Compare, VerdictNames) {
+  EXPECT_STREQ(verdictName(Verdict::kRetained), "retained");
+  EXPECT_STREQ(verdictName(Verdict::kDegraded), "degraded");
+  EXPECT_STREQ(verdictName(Verdict::kLost), "lost");
+}
+
+}  // namespace
+}  // namespace tracered::analysis

@@ -1,0 +1,57 @@
+// Unit tests for the simulator cost model and miscellaneous event helpers.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+
+namespace tracered::sim {
+namespace {
+
+TEST(CostModel, TransferTimeIsLatencyPlusBandwidth) {
+  CostModel cm;
+  cm.latency = 8;
+  cm.bytesPerUs = 1000;
+  EXPECT_EQ(cm.transferTime(0), 8);
+  EXPECT_EQ(cm.transferTime(1000), 9);
+  EXPECT_EQ(cm.transferTime(100000), 108);
+}
+
+TEST(CostModel, HopsAreLog2TreeDepth) {
+  CostModel cm;
+  cm.collPerHop = 2;
+  EXPECT_EQ(cm.hops(1), 0);
+  EXPECT_EQ(cm.hops(2), 2);
+  EXPECT_EQ(cm.hops(8), 6);
+  EXPECT_EQ(cm.hops(9), 8);   // ceil(log2 9) = 4 hops
+  EXPECT_EQ(cm.hops(32), 10);
+}
+
+TEST(CostModel, CollectiveCostScalesWithRanksAndBytes) {
+  CostModel cm;
+  const TimeUs small = cm.collectiveCost(OpKind::kBarrier, 8, 0);
+  const TimeUs wide = cm.collectiveCost(OpKind::kBarrier, 1024, 0);
+  const TimeUs heavy = cm.collectiveCost(OpKind::kAlltoall, 8, 100000);
+  EXPECT_GT(wide, small);
+  EXPECT_GT(heavy, small);
+}
+
+TEST(CostModel, InitAndFinalizeUseDedicatedCosts) {
+  CostModel cm;
+  cm.initCost = 777;
+  cm.finalizeCost = 333;
+  EXPECT_EQ(cm.collectiveCost(OpKind::kInit, 64, 0), 777);
+  EXPECT_EQ(cm.collectiveCost(OpKind::kFinalize, 64, 0), 333);
+}
+
+TEST(CostModel, DefaultsKeepOverheadsBelowWorkPeriods) {
+  // The benchmark design assumes MPI overheads are tiny against the ~1 ms
+  // ATS work period; guard the defaults against accidental recalibration.
+  CostModel cm;
+  EXPECT_LT(cm.sendOverhead + cm.recvOverhead + cm.latency, 50);
+  EXPECT_LT(cm.collectiveCost(OpKind::kAllreduce, 32, 2048), 100);
+  EXPECT_LT(cm.loopOverheadMax, 200);
+  EXPECT_LT(cm.enterJitterMax, 10);
+  EXPECT_LT(cm.computeJitterSigma, 0.1);
+}
+
+}  // namespace
+}  // namespace tracered::sim

@@ -1,0 +1,126 @@
+// End-to-end integration tests: whole pipeline on real (scaled-down)
+// workloads, checking the paper's qualitative claims hold on this
+// implementation.
+#include <gtest/gtest.h>
+
+#include "core/methods.hpp"
+#include "eval/evaluation.hpp"
+#include "eval/workloads.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracered::eval {
+namespace {
+
+WorkloadOptions small() {
+  WorkloadOptions o;
+  o.scale = 0.15;
+  return o;
+}
+
+TEST(Integration, FullPipelineOnEveryBenchmark) {
+  for (const auto& name : benchmarkWorkloads()) {
+    const PreparedTrace p = prepare(runWorkload(name, small()));
+    const MethodEvaluation ev = evaluateMethodDefault(p, core::Method::kAvgWave);
+    EXPECT_GT(ev.fullBytes, ev.reducedBytes) << name;
+    EXPECT_GT(ev.degreeOfMatching, 0.3) << name;
+  }
+}
+
+TEST(Integration, RegularBenchmarksRetainTrendsUnderAvgWave) {
+  // Sec. 5.2.3: "for the benchmarks with regular behavior, nearly all the
+  // methods performed quite well" — avgWave was among the best.
+  for (const char* name : {"late_sender", "early_gather", "late_broadcast",
+                           "imbalance_at_mpi_barrier"}) {
+    const PreparedTrace p = prepare(runWorkload(name, small()));
+    const MethodEvaluation ev = evaluateMethodDefault(p, core::Method::kAvgWave);
+    EXPECT_NE(ev.trends.verdict, analysis::Verdict::kLost) << name;
+  }
+}
+
+TEST(Integration, IterAvgLosesInterferenceTrends) {
+  // Sec. 5.2.3: iter_avg "seemed to smooth out behavior patterns" and only
+  // diagnosed one interference benchmark correctly. The mechanism: per-
+  // instance waits are max(0, skew_i); averaging replaces skew_i by its mean,
+  // so sign-flipping noise spikes vanish from the reconstruction.
+  const PreparedTrace p = prepare(runWorkload("1to1r_1024", small()));
+  const MethodEvaluation iterAvg = evaluateMethodDefault(p, core::Method::kIterAvg);
+  EXPECT_NE(iterAvg.trends.verdict, analysis::Verdict::kRetained);
+}
+
+TEST(Integration, DistanceMethodsBeatIterAvgOnInterference) {
+  // Fig. 8: Manhattan/Euclidean/avgWave were the best performers on
+  // 1to1r_1024; iter_avg among the worst.
+  const PreparedTrace p = prepare(runWorkload("1to1r_1024", small()));
+  const MethodEvaluation manhattan = evaluateMethodDefault(p, core::Method::kManhattan);
+  const MethodEvaluation iterAvg = evaluateMethodDefault(p, core::Method::kIterAvg);
+  EXPECT_LT(static_cast<int>(manhattan.trends.verdict),
+            static_cast<int>(iterAvg.trends.verdict));
+}
+
+TEST(Integration, RelDiffLowErrorLargeFilesOnRegularBenchmarks) {
+  // Sec. 5.2.4: "For relDiff, we expected low error and relatively large
+  // files, which is exactly what we found to be true." The early-timestamp
+  // harshness splits segments into extra groups (bigger files) while the
+  // surviving matches are tight (lower error).
+  const PreparedTrace p = prepare(runWorkload("imbalance_at_mpi_barrier", small()));
+  const MethodEvaluation relDiff = evaluateMethodDefault(p, core::Method::kRelDiff);
+  const MethodEvaluation cheb = evaluateMethodDefault(p, core::Method::kChebyshev);
+  EXPECT_LE(relDiff.approxDistanceUs, cheb.approxDistanceUs + 1.0);
+  EXPECT_GE(relDiff.reducedBytes, cheb.reducedBytes);
+  EXPECT_LE(relDiff.degreeOfMatching, cheb.degreeOfMatching);
+}
+
+TEST(Integration, ReducedTraceFilesRoundTripThroughDisk) {
+  const PreparedTrace p = prepare(runWorkload("late_sender", small()));
+  auto policy = core::makeDefaultPolicy(core::Method::kEuclidean);
+  const core::ReductionResult res =
+      core::reduceTrace(p.segmented, p.trace.names(), *policy);
+  const auto bytes = serializeReducedTrace(res.reduced);
+  const ReducedTrace back = deserializeReducedTrace(bytes);
+  EXPECT_EQ(back.ranks.size(), res.reduced.ranks.size());
+  for (std::size_t r = 0; r < back.ranks.size(); ++r) {
+    EXPECT_EQ(back.ranks[r].execs, res.reduced.ranks[r].execs);
+    EXPECT_EQ(back.ranks[r].stored.size(), res.reduced.ranks[r].stored.size());
+  }
+}
+
+TEST(Integration, Sweep3DIterKStoresTenCopiesPerSignature) {
+  // Sec. 5.2.1: on sweep3d iter_k performed worst, keeping 10 copies of each
+  // segment signature no matter how similar they are.
+  // Needs the paper's 8 iterations: each pipeline-block signature then has
+  // 16 executions (2 angle blocks x 8 iterations), of which iter_k retains
+  // 10 while the distance methods retain a handful.
+  sweep3d::Sweep3DConfig cfg = sweep3d::config8p();
+  const PreparedTrace p = prepare(sweep3d::runSweep3D(cfg));
+  const MethodEvaluation iterK = evaluateMethodDefault(p, core::Method::kIterK);
+  const MethodEvaluation avgWave = evaluateMethodDefault(p, core::Method::kAvgWave);
+  EXPECT_GT(iterK.storedSegments, avgWave.storedSegments);
+  EXPECT_GT(iterK.filePct, avgWave.filePct);
+}
+
+TEST(Integration, InterferenceNotMaskedByModestThresholds) {
+  // The point of the interference benchmarks: methods must not falsely match
+  // disturbed and undisturbed iterations so hard that the noise signature
+  // disappears. Distance methods at paper-default thresholds keep the
+  // Wait-at-NxN total within the comparator's "degraded" band.
+  const PreparedTrace p = prepare(runWorkload("NtoN_1024", small()));
+  for (core::Method m : {core::Method::kManhattan, core::Method::kEuclidean,
+                         core::Method::kAvgWave}) {
+    const MethodEvaluation ev = evaluateMethodDefault(p, m);
+    EXPECT_NE(ev.trends.verdict, analysis::Verdict::kLost) << core::methodName(m);
+  }
+}
+
+TEST(Integration, FileSizeRankingHasIterAvgFirst) {
+  // Sec. 5.2.1: "The obvious best method in this category is iter_avg".
+  const PreparedTrace p = prepare(runWorkload("imbalance_at_mpi_barrier", small()));
+  std::size_t best = SIZE_MAX;
+  for (core::Method m : core::allMethods()) {
+    const MethodEvaluation ev = evaluateMethodDefault(p, m);
+    best = std::min(best, ev.reducedBytes);
+    if (m == core::Method::kIterAvg) EXPECT_EQ(ev.reducedBytes, best);
+  }
+}
+
+}  // namespace
+}  // namespace tracered::eval

@@ -1,0 +1,248 @@
+// Behavioural tests for each similarity policy beyond the paper's worked
+// examples: threshold monotonicity, bucket handling, caching, averaging.
+#include <gtest/gtest.h>
+
+#include "core/methods.hpp"
+#include "core/segment_store.hpp"
+#include "core/similarity.hpp"
+#include "test_helpers.hpp"
+
+namespace tracered::core {
+namespace {
+
+using testing::makeSegment;
+
+Segment jittered(StringTable& names, TimeUs delta) {
+  return makeSegment(names, "main.1", 0, 1000 + delta,
+                     {{"do_work", OpKind::kCompute, 1, 900 + delta, {}},
+                      {"MPI_Barrier", OpKind::kBarrier, 901 + delta, 999 + delta, {}}});
+}
+
+TEST(SegmentStoreTest, AddAssignsDenseIdsAndBuckets) {
+  StringTable names;
+  SegmentStore store;
+  const Segment a = jittered(names, 0);
+  const Segment b = jittered(names, 5);
+  const Segment other = makeSegment(names, "main.2", 0, 10,
+                                    {{"do_work", OpKind::kCompute, 1, 9, {}}});
+  EXPECT_EQ(store.add(a), 0u);
+  EXPECT_EQ(store.add(b), 1u);
+  EXPECT_EQ(store.add(other), 2u);
+  EXPECT_EQ(store.bucket(a.signature()).size(), 2u);
+  EXPECT_EQ(store.bucket(other.signature()).size(), 1u);
+  EXPECT_TRUE(store.bucket(0xdeadbeef).empty());
+  // Stored copies have absStart zeroed.
+  EXPECT_EQ(store.segment(0).absStart, 0);
+}
+
+TEST(Policies, NoMatchAcrossIncompatibleSegments) {
+  StringTable names;
+  const Segment a = jittered(names, 0);
+  const Segment other = makeSegment(names, "main.2", 0, 1000,
+                                    {{"do_work", OpKind::kCompute, 1, 999, {}}});
+  for (Method m : allMethods()) {
+    auto policy = makePolicy(m, 1e9);  // absurdly permissive threshold
+    policy->beginRank();
+    SegmentStore store;
+    const SegmentId id = store.add(a);
+    policy->onStored(store.segment(id), id);
+    EXPECT_FALSE(policy->tryMatch(other, store).has_value())
+        << methodName(m) << " matched across contexts";
+  }
+}
+
+TEST(Policies, ThresholdZeroMatchesOnlyIdenticalSegments) {
+  StringTable names;
+  const Segment a = jittered(names, 0);
+  const Segment same = jittered(names, 0);
+  const Segment off = jittered(names, 3);
+  for (Method m : {Method::kRelDiff, Method::kAbsDiff, Method::kManhattan,
+                   Method::kEuclidean, Method::kChebyshev, Method::kAvgWave,
+                   Method::kHaarWave}) {
+    auto policy = makePolicy(m, 0.0);
+    policy->beginRank();
+    SegmentStore store;
+    const SegmentId id = store.add(a);
+    policy->onStored(store.segment(id), id);
+    EXPECT_TRUE(policy->tryMatch(same, store).has_value()) << methodName(m);
+    EXPECT_FALSE(policy->tryMatch(off, store).has_value()) << methodName(m);
+  }
+}
+
+TEST(Policies, MatchingIsMonotonicInThreshold) {
+  StringTable names;
+  const Segment a = jittered(names, 0);
+  const Segment off = jittered(names, 40);
+  for (Method m : {Method::kRelDiff, Method::kAbsDiff, Method::kManhattan,
+                   Method::kEuclidean, Method::kChebyshev, Method::kAvgWave,
+                   Method::kHaarWave}) {
+    bool matchedBefore = false;
+    for (double t : studyThresholds(m)) {
+      auto policy = makePolicy(m, t);
+      policy->beginRank();
+      SegmentStore store;
+      const SegmentId id = store.add(a);
+      policy->onStored(store.segment(id), id);
+      const bool matched = policy->tryMatch(off, store).has_value();
+      EXPECT_TRUE(matched || !matchedBefore)
+          << methodName(m) << ": match disappeared as threshold grew (t=" << t << ")";
+      matchedBefore = matched || matchedBefore;
+    }
+  }
+}
+
+TEST(Policies, FirstMatchingStoredSegmentWins) {
+  StringTable names;
+  AbsDiffPolicy policy(100);
+  SegmentStore store;
+  const Segment s0 = jittered(names, 0);
+  const Segment s1 = jittered(names, 10);
+  store.add(s0);
+  store.add(s1);
+  // Both are within 100 of the candidate; the paper's algorithm scans stored
+  // segments in order and returns the first hit.
+  const auto match = policy.tryMatch(jittered(names, 5), store);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(*match, 0u);
+}
+
+TEST(RelDiff, EarlySmallTimestampsAreHarsh) {
+  // The paper's critique: start times 1 vs 2 fail a 0.25 threshold even
+  // though they differ by one tick, while 100 vs 125 pass.
+  StringTable names;
+  RelDiffPolicy policy(0.25);
+  SegmentStore store;
+  const Segment a = makeSegment(names, "m", 0, 200,
+                                {{"f", OpKind::kCompute, 1, 150, {}}});
+  const Segment b = makeSegment(names, "m", 0, 200,
+                                {{"f", OpKind::kCompute, 2, 150, {}}});
+  store.add(a);
+  EXPECT_FALSE(policy.tryMatch(b, store).has_value());
+
+  SegmentStore store2;
+  const Segment c = makeSegment(names, "m", 0, 200,
+                                {{"f", OpKind::kCompute, 100, 150, {}}});
+  const Segment d = makeSegment(names, "m", 0, 200,
+                                {{"f", OpKind::kCompute, 125, 150, {}}});
+  store2.add(c);
+  EXPECT_TRUE(policy.tryMatch(d, store2).has_value());
+}
+
+TEST(Chebyshev, OnlyLargestDifferenceCounts) {
+  StringTable names;
+  // Many small differences: Chebyshev sees only the max, Manhattan sums.
+  const Segment a = makeSegment(names, "m", 0, 1000,
+                                {{"f", OpKind::kCompute, 10, 200, {}},
+                                 {"g", OpKind::kCompute, 210, 400, {}},
+                                 {"h", OpKind::kCompute, 410, 600, {}},
+                                 {"i", OpKind::kCompute, 610, 990, {}}});
+  Segment b = a;
+  for (auto& e : b.events) {
+    e.start += 30;
+    e.end += 30;
+  }
+  // Chebyshev distance = 30; Manhattan = 30 * 8 = 240. max value = 1000.
+  MinkowskiPolicy cheb(MinkowskiPolicy::Order::kChebyshev, 0.05);  // allows 50
+  MinkowskiPolicy manh(MinkowskiPolicy::Order::kManhattan, 0.05);
+  SegmentStore s1, s2;
+  s1.add(a);
+  s2.add(a);
+  EXPECT_TRUE(cheb.tryMatch(b, s1).has_value());
+  EXPECT_FALSE(manh.tryMatch(b, s2).has_value());
+}
+
+TEST(Wavelet, HaarIsStricterThanAvgOnSameThreshold) {
+  // haarWave coefficients are avgWave's scaled by sqrt(2)^level, with the
+  // Euclidean distance preserved (not shrunk), so at an equal threshold the
+  // Haar test admits no more matches than a test whose distance shrank.
+  StringTable names;
+  const Segment a = jittered(names, 0);
+  const Segment b = jittered(names, 25);
+  for (double t : {0.01, 0.02, 0.05, 0.1, 0.2}) {
+    WaveletPolicy avg(WaveletPolicy::Kind::kAverage, t);
+    WaveletPolicy haar(WaveletPolicy::Kind::kHaar, t);
+    avg.beginRank();
+    haar.beginRank();
+    SegmentStore s1, s2;
+    const SegmentId i1 = s1.add(a);
+    avg.onStored(s1.segment(i1), i1);
+    const SegmentId i2 = s2.add(a);
+    haar.onStored(s2.segment(i2), i2);
+    const bool am = avg.tryMatch(b, s1).has_value();
+    const bool hm = haar.tryMatch(b, s2).has_value();
+    // If Haar matches, the average transform must match too.
+    EXPECT_TRUE(am || !hm) << "t=" << t;
+  }
+}
+
+TEST(IterK, KeepsExactlyKThenMatchesLast) {
+  StringTable names;
+  IterKPolicy policy(3);
+  SegmentStore store;
+  for (int i = 0; i < 3; ++i) {
+    const Segment s = jittered(names, i);
+    EXPECT_FALSE(policy.tryMatch(s, store).has_value());
+    store.add(s);
+  }
+  for (int i = 3; i < 10; ++i) {
+    const auto match = policy.tryMatch(jittered(names, i), store);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(*match, 2u);  // last stored copy
+  }
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(IterAvg, RunningAverageConvergesToMean) {
+  StringTable names;
+  IterAvgPolicy policy;
+  policy.beginRank();
+  SegmentStore store;
+  const Segment first = jittered(names, 0);
+  const SegmentId id = store.add(first);
+  policy.onStored(store.segment(id), id);
+  // deltas 0, 10, 20 -> mean end = 1000 + 10.
+  EXPECT_TRUE(policy.tryMatch(jittered(names, 10), store).has_value());
+  EXPECT_TRUE(policy.tryMatch(jittered(names, 20), store).has_value());
+  policy.finishRank(store);
+  EXPECT_EQ(store.segment(id).end, 1010);
+  EXPECT_EQ(store.segment(id).events[0].end, 910);
+}
+
+TEST(Methods, RegistryNamesRoundTrip) {
+  for (Method m : allMethods()) {
+    EXPECT_EQ(methodByName(methodName(m)), m);
+  }
+  EXPECT_THROW(methodByName("bogus"), std::invalid_argument);
+  EXPECT_EQ(allMethods().size(), 9u);
+  EXPECT_EQ(thresholdedMethods().size(), 8u);
+}
+
+TEST(Methods, PaperDefaultThresholds) {
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kRelDiff), 0.8);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kAbsDiff), 1000.0);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kManhattan), 0.4);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kEuclidean), 0.2);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kChebyshev), 0.2);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kIterK), 10.0);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kAvgWave), 0.2);
+  EXPECT_DOUBLE_EQ(defaultThreshold(Method::kHaarWave), 0.2);
+}
+
+TEST(Methods, StudyThresholdsMatchPaper) {
+  EXPECT_EQ(studyThresholds(Method::kRelDiff),
+            (std::vector<double>{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}));
+  EXPECT_EQ(studyThresholds(Method::kAbsDiff),
+            (std::vector<double>{1e1, 1e2, 1e3, 1e4, 1e5, 1e6}));
+  EXPECT_EQ(studyThresholds(Method::kIterK),
+            (std::vector<double>{1, 10, 50, 100, 500, 1000}));
+  EXPECT_TRUE(studyThresholds(Method::kIterAvg).empty());
+}
+
+TEST(Methods, PolicyNamesMatchRegistry) {
+  for (Method m : allMethods()) {
+    EXPECT_EQ(makeDefaultPolicy(m)->name(), methodName(m));
+  }
+}
+
+}  // namespace
+}  // namespace tracered::core

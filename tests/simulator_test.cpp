@@ -1,0 +1,310 @@
+// Tests for the discrete-event MPI simulator: blocking semantics, collective
+// roles, determinism, noise injection, deadlock detection.
+#include <gtest/gtest.h>
+
+#include "sim/noise.hpp"
+#include "sim/program.hpp"
+#include "sim/simulator.hpp"
+#include "trace/segmenter.hpp"
+
+namespace tracered::sim {
+namespace {
+
+SimConfig quietConfig() {
+  SimConfig cfg;
+  cfg.seed = 1;
+  cfg.cost.enterJitterMax = 0;
+  cfg.cost.loopOverheadMax = 0;
+  cfg.cost.computeJitterSigma = 0.0;
+  cfg.cost.overheadJitterSigma = 0.0;
+  return cfg;
+}
+
+/// Finds the first enter/exit interval of `fn` on `rank`.
+struct Interval {
+  TimeUs start = -1, end = -1;
+};
+Interval firstInterval(const Trace& trace, Rank rank, const std::string& fn) {
+  Interval out;
+  const NameId id = trace.names().find(fn);
+  for (const RawRecord& rec : trace.rank(rank).records) {
+    if (rec.name != id) continue;
+    if (rec.kind == RecordKind::kEnter && out.start < 0) out.start = rec.time;
+    else if (rec.kind == RecordKind::kExit && out.start >= 0) {
+      out.end = rec.time;
+      break;
+    }
+  }
+  return out;
+}
+
+Program pairProgram(TimeUs senderWork, TimeUs recvWork, bool sync) {
+  Program p(2);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("main.1");
+    b.compute(senderWork);
+    if (sync) b.ssend(1, 0, 1024);
+    else b.send(1, 0, 1024);
+    b.segEnd("main.1");
+  }
+  {
+    RankProgramBuilder b(p.ranks[1]);
+    b.segBegin("main.1");
+    b.compute(recvWork);
+    b.recv(0, 0, 1024);
+    b.segEnd("main.1");
+  }
+  return p;
+}
+
+TEST(Simulator, LateSenderBlocksReceiver) {
+  const Trace t = simulate(pairProgram(1000, 100, false), quietConfig());
+  const Interval recv = firstInterval(t, 1, "MPI_Recv");
+  const Interval send = firstInterval(t, 0, "MPI_Send");
+  ASSERT_GE(recv.start, 0);
+  ASSERT_GE(send.start, 0);
+  // Receiver entered long before the send and sat blocked until after it.
+  EXPECT_LT(recv.start, send.start);
+  EXPECT_GT(recv.end, send.start);
+  EXPECT_GE(recv.end - recv.start, 800);  // ~900 µs of waiting
+}
+
+TEST(Simulator, EarlySenderDoesNotBlockReceiver) {
+  const Trace t = simulate(pairProgram(100, 1000, false), quietConfig());
+  const Interval recv = firstInterval(t, 1, "MPI_Recv");
+  // Message already arrived: receive completes in ~recvOverhead.
+  EXPECT_LT(recv.end - recv.start, 50);
+}
+
+TEST(Simulator, LateReceiverBlocksSynchronousSender) {
+  const Trace t = simulate(pairProgram(100, 1000, true), quietConfig());
+  const Interval send = firstInterval(t, 0, "MPI_Ssend");
+  const Interval recv = firstInterval(t, 1, "MPI_Recv");
+  EXPECT_LT(send.start, recv.start);
+  EXPECT_GE(send.end - send.start, 800);  // sender waited for the receiver
+  EXPECT_LT(recv.end - recv.start, 50);
+}
+
+TEST(Simulator, BufferedSendNeverBlocks) {
+  const Trace t = simulate(pairProgram(100, 1000, false), quietConfig());
+  const Interval send = firstInterval(t, 0, "MPI_Send");
+  EXPECT_LT(send.end - send.start, 50);
+}
+
+Program collectiveProgram(OpKind op, Rank root, std::vector<TimeUs> works) {
+  Program p(static_cast<int>(works.size()));
+  for (std::size_t r = 0; r < works.size(); ++r) {
+    RankProgramBuilder b(p.ranks[r]);
+    b.segBegin("main.1");
+    b.compute(works[r]);
+    b.collective(op, root, 512);
+    b.segEnd("main.1");
+  }
+  return p;
+}
+
+TEST(Simulator, BarrierReleasesAllAfterLastEnter) {
+  const Trace t = simulate(collectiveProgram(OpKind::kBarrier, -1, {100, 500, 900, 300}),
+                           quietConfig());
+  TimeUs lastEnter = 0;
+  for (Rank r = 0; r < 4; ++r)
+    lastEnter = std::max(lastEnter, firstInterval(t, r, "MPI_Barrier").start);
+  for (Rank r = 0; r < 4; ++r) {
+    const Interval barrier = firstInterval(t, r, "MPI_Barrier");
+    EXPECT_GE(barrier.end, lastEnter);
+    // Rank 2 (the latest) waits ~nothing; rank 0 waits ~800.
+  }
+  const Interval early = firstInterval(t, 0, "MPI_Barrier");
+  const Interval late = firstInterval(t, 2, "MPI_Barrier");
+  EXPECT_GT(early.end - early.start, 700);
+  EXPECT_LT(late.end - late.start, 100);
+}
+
+TEST(Simulator, GatherBlocksOnlyRoot) {
+  const Trace t = simulate(collectiveProgram(OpKind::kGather, 0, {100, 900, 900, 900}),
+                           quietConfig());
+  const Interval root = firstInterval(t, 0, "MPI_Gather");
+  EXPECT_GT(root.end - root.start, 700);  // root waited for the senders
+  for (Rank r = 1; r < 4; ++r) {
+    const Interval leaf = firstInterval(t, r, "MPI_Gather");
+    EXPECT_LT(leaf.end - leaf.start, 100);  // leaves just drop off their data
+  }
+}
+
+TEST(Simulator, BcastBlocksOnlyNonRoots) {
+  const Trace t = simulate(collectiveProgram(OpKind::kBcast, 0, {900, 100, 100, 100}),
+                           quietConfig());
+  const Interval root = firstInterval(t, 0, "MPI_Bcast");
+  EXPECT_LT(root.end - root.start, 100);
+  for (Rank r = 1; r < 4; ++r) {
+    const Interval leaf = firstInterval(t, r, "MPI_Bcast");
+    EXPECT_GT(leaf.end - leaf.start, 700);  // waited for the late root
+  }
+}
+
+TEST(Simulator, MessagesMatchInFifoOrder) {
+  Program p(2);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("s");
+    b.compute(10);
+    b.send(1, 0, 100);
+    b.compute(10);
+    b.send(1, 0, 100);
+    b.segEnd("s");
+  }
+  {
+    RankProgramBuilder b(p.ranks[1]);
+    b.segBegin("s");
+    b.recv(0, 0, 100);
+    b.recv(0, 0, 100);
+    b.segEnd("s");
+  }
+  const Trace t = simulate(p, quietConfig());
+  // Two receives complete, in order, with increasing times.
+  int recvExits = 0;
+  TimeUs prev = -1;
+  const NameId id = t.names().find("MPI_Recv");
+  for (const RawRecord& rec : t.rank(1).records) {
+    if (rec.name == id && rec.kind == RecordKind::kExit) {
+      EXPECT_GT(rec.time, prev);
+      prev = rec.time;
+      ++recvExits;
+    }
+  }
+  EXPECT_EQ(recvExits, 2);
+}
+
+TEST(Simulator, MismatchedMessageSizeThrows) {
+  Program p(2);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("s");
+    b.send(1, 0, 100);
+    b.segEnd("s");
+  }
+  {
+    RankProgramBuilder b(p.ranks[1]);
+    b.segBegin("s");
+    b.recv(0, 0, 200);
+    b.segEnd("s");
+  }
+  EXPECT_THROW(simulate(p, quietConfig()), std::runtime_error);
+}
+
+TEST(Simulator, DeadlockIsDetected) {
+  Program p(2);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("s");
+    b.recv(1, 0, 8);
+    b.segEnd("s");
+  }
+  {
+    RankProgramBuilder b(p.ranks[1]);
+    b.segBegin("s");
+    b.recv(0, 0, 8);
+    b.segEnd("s");
+  }
+  EXPECT_THROW(simulate(p, quietConfig()), std::runtime_error);
+}
+
+TEST(Simulator, MismatchedCollectivesThrow) {
+  Program p(2);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("s");
+    b.collective(OpKind::kBarrier);
+    b.segEnd("s");
+  }
+  {
+    RankProgramBuilder b(p.ranks[1]);
+    b.segBegin("s");
+    b.collective(OpKind::kAlltoall, -1, 8);
+    b.segEnd("s");
+  }
+  EXPECT_THROW(simulate(p, quietConfig()), std::runtime_error);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  SimConfig cfg;  // with jitter enabled
+  cfg.seed = 99;
+  const Program p = pairProgram(500, 300, false);
+  const Trace a = simulate(p, cfg);
+  const Trace b = simulate(p, cfg);
+  ASSERT_EQ(a.rank(0).records.size(), b.rank(0).records.size());
+  for (std::size_t i = 0; i < a.rank(0).records.size(); ++i)
+    EXPECT_EQ(a.rank(0).records[i], b.rank(0).records[i]);
+}
+
+TEST(Simulator, SeedChangesJitteredTimings) {
+  SimConfig a;
+  a.seed = 1;
+  SimConfig b;
+  b.seed = 2;
+  const Program p = pairProgram(500, 300, false);
+  const Trace ta = simulate(p, a);
+  const Trace tb = simulate(p, b);
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < ta.rank(0).records.size(); ++i)
+    anyDiff |= ta.rank(0).records[i].time != tb.rank(0).records[i].time;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Simulator, TracesSegmentCleanly) {
+  const Trace t = simulate(pairProgram(500, 300, false), SimConfig{});
+  EXPECT_NO_THROW(segmentTrace(t));
+}
+
+TEST(Noise, ScheduleIsDeterministicAndSorted) {
+  auto noise = makeAsciQ32Noise(5);
+  const auto a = noise->schedule(3, 100000);
+  const auto b = noise->schedule(3, 100000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].duration, b[i].duration);
+    if (i > 0) EXPECT_GE(a[i].time, a[i - 1].time);
+  }
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Noise, RanksHaveDifferentPhases) {
+  auto noise = makeAsciQ32Noise(5);
+  const auto a = noise->schedule(0, 50000);
+  const auto b = noise->schedule(1, 50000);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a[0].time, b[0].time);
+}
+
+TEST(Noise, Noise1024IsDenser) {
+  const TimeUs horizon = 1000000;
+  auto n32 = makeAsciQ32Noise(5);
+  auto n1024 = makeAsciQ1024Noise(5);
+  TimeUs stolen32 = 0, stolen1024 = 0;
+  for (const auto& irq : n32->schedule(0, horizon)) stolen32 += irq.duration;
+  for (const auto& irq : n1024->schedule(0, horizon)) stolen1024 += irq.duration;
+  EXPECT_GT(stolen1024, 3 * stolen32);
+}
+
+TEST(Noise, StretchesComputePhases) {
+  Program p(1);
+  {
+    RankProgramBuilder b(p.ranks[0]);
+    b.segBegin("s");
+    b.compute(50000);
+    b.segEnd("s");
+  }
+  const SimConfig cfg = quietConfig();
+  const Trace quiet = simulate(p, cfg, nullptr);
+  auto noise = makeAsciQ1024Noise(3);
+  const Trace noisy = simulate(p, cfg, noise.get());
+  const Interval a = firstInterval(quiet, 0, "do_work");
+  const Interval b = firstInterval(noisy, 0, "do_work");
+  EXPECT_GT(b.end - b.start, a.end - a.start);
+}
+
+}  // namespace
+}  // namespace tracered::sim

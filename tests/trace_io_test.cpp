@@ -1,0 +1,147 @@
+// Round-trip and size-behaviour tests for the binary trace formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hpp"
+#include "trace/segmenter.hpp"
+#include "test_helpers.hpp"
+
+namespace tracered {
+namespace {
+
+Trace smallTrace() {
+  Trace trace(2);
+  for (Rank r = 0; r < 2; ++r) {
+    RankTraceWriter w(trace, r);
+    w.segBegin("init", 0);
+    w.enter("MPI_Init", OpKind::kInit, 1);
+    w.exit("MPI_Init", 30);
+    w.segEnd("init", 31);
+    for (int i = 0; i < 3; ++i) {
+      const TimeUs base = 100 + 50 * i;
+      w.segBegin("main.1", base);
+      w.enter("do_work", OpKind::kCompute, base + 1);
+      w.exit("do_work", base + 20);
+      MsgInfo m;
+      m.peer = 1 - r;
+      m.tag = 7;
+      m.bytes = 64;
+      m.comm = 0;
+      if (r == 0) {
+        w.enter("MPI_Send", OpKind::kSend, base + 21, m);
+        w.exit("MPI_Send", base + 25);
+      } else {
+        w.enter("MPI_Recv", OpKind::kRecv, base + 21, m);
+        w.exit("MPI_Recv", base + 30);
+      }
+      w.segEnd("main.1", base + 31);
+    }
+  }
+  return trace;
+}
+
+TEST(TraceIO, FullTraceRoundTrips) {
+  const Trace trace = smallTrace();
+  const auto bytes = serializeFullTrace(trace);
+  const Trace back = deserializeFullTrace(bytes);
+  ASSERT_EQ(back.numRanks(), trace.numRanks());
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    ASSERT_EQ(back.rank(r).records.size(), trace.rank(r).records.size());
+    for (std::size_t i = 0; i < trace.rank(r).records.size(); ++i) {
+      EXPECT_EQ(back.rank(r).records[i], trace.rank(r).records[i]);
+    }
+  }
+  EXPECT_EQ(back.names().size(), trace.names().size());
+  for (NameId id = 0; id < trace.names().size(); ++id)
+    EXPECT_EQ(back.names().name(id), trace.names().name(id));
+}
+
+TEST(TraceIO, FullTraceRejectsGarbage) {
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(deserializeFullTrace(junk), std::runtime_error);
+  EXPECT_THROW(deserializeFullTrace({}), std::out_of_range);
+}
+
+TEST(TraceIO, FullTraceRejectsTrailingBytes) {
+  auto bytes = serializeFullTrace(smallTrace());
+  bytes.push_back(0);
+  EXPECT_THROW(deserializeFullTrace(bytes), std::runtime_error);
+}
+
+ReducedTrace smallReduced() {
+  ReducedTrace rt;
+  StringTable& names = rt.names;
+  RankReduced rr;
+  rr.rank = 0;
+  MsgInfo m;
+  m.peer = 1;
+  m.tag = 3;
+  m.bytes = 128;
+  m.comm = 0;
+  rr.stored.push_back(testing::makeSegment(names, "main.1", 0, 50,
+                                           {{"do_work", OpKind::kCompute, 1, 20, {}},
+                                            {"MPI_Send", OpKind::kSend, 21, 45, m}}));
+  rr.execs = {{0, 100}, {0, 200}, {0, 330}};
+  rt.ranks.push_back(std::move(rr));
+  return rt;
+}
+
+TEST(TraceIO, ReducedTraceRoundTrips) {
+  const ReducedTrace rt = smallReduced();
+  const auto bytes = serializeReducedTrace(rt);
+  const ReducedTrace back = deserializeReducedTrace(bytes);
+  ASSERT_EQ(back.ranks.size(), 1u);
+  ASSERT_EQ(back.ranks[0].stored.size(), 1u);
+  EXPECT_EQ(back.ranks[0].stored[0].events, rt.ranks[0].stored[0].events);
+  EXPECT_EQ(back.ranks[0].stored[0].end, rt.ranks[0].stored[0].end);
+  EXPECT_EQ(back.ranks[0].execs, rt.ranks[0].execs);
+}
+
+TEST(TraceIO, ReducedTraceRejectsWrongMagic) {
+  const auto bytes = serializeFullTrace(smallTrace());
+  EXPECT_THROW(deserializeReducedTrace(bytes), std::runtime_error);
+}
+
+// The reduction premise: a reduced trace that stores one representative for
+// many executions must be much smaller than the full trace.
+TEST(TraceIO, ReducedFormatIsSmallerThanFullForRepeatedSegments) {
+  Trace trace(1);
+  RankTraceWriter w(trace, 0);
+  ReducedTrace rt;
+  for (const auto& s : std::vector<std::string>{"main.1", "do_work"}) rt.names.intern(s);
+  RankReduced rr;
+  rr.rank = 0;
+  const int iters = 200;
+  for (int i = 0; i < iters; ++i) {
+    const TimeUs base = 100 * i;
+    w.segBegin("main.1", base);
+    w.enter("do_work", OpKind::kCompute, base + 1);
+    w.exit("do_work", base + 80);
+    w.segEnd("main.1", base + 81);
+    rr.execs.push_back({0, base});
+  }
+  rr.stored.push_back(testing::makeSegment(rt.names, "main.1", 0, 81,
+                                           {{"do_work", OpKind::kCompute, 1, 80, {}}}));
+  rt.ranks.push_back(std::move(rr));
+
+  const std::size_t fullSize = fullTraceSize(trace);
+  const std::size_t redSize = reducedTraceSize(rt);
+  EXPECT_LT(redSize, fullSize / 3);
+}
+
+TEST(TraceIO, FileWriteReadRoundTrip) {
+  const auto bytes = serializeFullTrace(smallTrace());
+  const std::string path = ::testing::TempDir() + "/tracered_io_test.bin";
+  writeFile(path, bytes);
+  const auto back = readFile(path);
+  EXPECT_EQ(back, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIO, ReadMissingFileThrows) {
+  EXPECT_THROW(readFile("/nonexistent/definitely/missing.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tracered

@@ -1,0 +1,238 @@
+// Unit tests for src/util: stats, rng, bytebuf, table, cli.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/bytebuf.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace tracered {
+namespace {
+
+// --- stats ---------------------------------------------------------------
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 4.6);
+}
+
+TEST(Stats, PercentileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 90), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7}, 90), 7.0);
+}
+
+TEST(Stats, MedianUnsortedInput) {
+  EXPECT_DOUBLE_EQ(median({9, 1, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantProfileCountsAsCorrelated) {
+  EXPECT_DOUBLE_EQ(pearson({5, 5, 5}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {5, 5, 5}), 1.0);
+}
+
+TEST(Stats, PearsonSizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, RunningStats) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  rs.add(3);
+  rs.add(-1);
+  rs.add(4);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.total(), 6.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+TEST(Stats, MaxAbs) {
+  EXPECT_DOUBLE_EQ(maxAbs({}), 0.0);
+  EXPECT_DOUBLE_EQ(maxAbs({-5, 3}), 5.0);
+}
+
+// --- rng -----------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, IntInRange) {
+  SplitMix64 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.nextInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, GaussianRoughlyStandard) {
+  SplitMix64 rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.nextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SeedForIsStableAndRankSensitive) {
+  const auto a = seedFor("x", 1, 0);
+  EXPECT_EQ(a, seedFor("x", 1, 0));
+  EXPECT_NE(a, seedFor("x", 1, 1));
+  EXPECT_NE(a, seedFor("y", 1, 0));
+  EXPECT_NE(a, seedFor("x", 2, 0));
+}
+
+// --- bytebuf ---------------------------------------------------------------
+
+TEST(ByteBuf, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.str("hello");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteBuf, VarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                             0xffffffffffffffffull};
+  for (auto v : values) w.uvarint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.uvarint(), v);
+}
+
+TEST(ByteBuf, SvarintRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::int64_t> values = {0, 1, -1, 63, -64, 1000000, -1000000,
+                                            INT64_MAX, INT64_MIN};
+  for (auto v : values) w.svarint(v);
+  ByteReader r(w.bytes());
+  for (auto v : values) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(ByteBuf, SmallVarintsAreCompact) {
+  ByteWriter w;
+  w.uvarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.svarint(-3);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(ByteBuf, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  r.u32();
+  EXPECT_THROW(r.u8(), std::out_of_range);
+}
+
+// --- table -----------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "v"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // header and both rows plus a rule
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, CsvEscapes) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"x,y", "q\"z"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"z\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtPct(12.5, 1), "12.5%");
+  EXPECT_EQ(fmtBytes(512), "512 B");
+  EXPECT_EQ(fmtBytes(2048), "2.00 KiB");
+  EXPECT_EQ(fmtBytes(3 << 20), "3.00 MiB");
+}
+
+// --- cli -------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--iters=5", "--name", "foo", "pos1", "--verbose"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.getInt("iters", 0), 5);
+  EXPECT_EQ(args.get("name"), "foo");
+  EXPECT_TRUE(args.getBool("verbose"));
+  EXPECT_FALSE(args.getBool("absent"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.getInt("x", 9), 9);
+  EXPECT_DOUBLE_EQ(args.getDouble("y", 2.5), 2.5);
+  EXPECT_EQ(args.get("z", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace tracered

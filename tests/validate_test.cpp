@@ -1,0 +1,113 @@
+// Tests for the static program validator.
+#include <gtest/gtest.h>
+
+#include "ats/ats.hpp"
+#include "sim/validate.hpp"
+#include "sweep3d/sweep3d.hpp"
+
+namespace tracered::sim {
+namespace {
+
+bool hasError(const std::vector<ValidationIssue>& issues, const std::string& fragment) {
+  for (const auto& issue : issues)
+    if (issue.severity == ValidationIssue::Severity::kError &&
+        issue.message.find(fragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+bool hasWarning(const std::vector<ValidationIssue>& issues, const std::string& fragment) {
+  for (const auto& issue : issues)
+    if (issue.severity == ValidationIssue::Severity::kWarning &&
+        issue.message.find(fragment) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Validate, CleanProgramPasses) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).compute(10).send(1, 0, 64);
+  RankProgramBuilder(p.ranks[1]).compute(10).recv(0, 0, 64);
+  const auto issues = validateProgram(p);
+  EXPECT_TRUE(isValid(issues));
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Validate, DetectsMissingSend) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).compute(10);
+  RankProgramBuilder(p.ranks[1]).recv(0, 0, 64);
+  const auto issues = validateProgram(p);
+  EXPECT_FALSE(isValid(issues));
+  EXPECT_TRUE(hasError(issues, "deadlock"));
+}
+
+TEST(Validate, WarnsOnUnreceivedMessage) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).send(1, 0, 64).send(1, 0, 64);
+  RankProgramBuilder(p.ranks[1]).recv(0, 0, 64);
+  const auto issues = validateProgram(p);
+  EXPECT_TRUE(isValid(issues));  // only a warning
+  EXPECT_TRUE(hasWarning(issues, "never received"));
+}
+
+TEST(Validate, DetectsPayloadMismatch) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).send(1, 0, 64);
+  RankProgramBuilder(p.ranks[1]).recv(0, 0, 128);
+  EXPECT_TRUE(hasError(validateProgram(p), "payload mismatch"));
+}
+
+TEST(Validate, DetectsInvalidPeer) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).send(7, 0, 64);
+  EXPECT_TRUE(hasError(validateProgram(p), "invalid rank"));
+}
+
+TEST(Validate, DetectsCollectiveCountMismatch) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).collective(OpKind::kBarrier);
+  RankProgramBuilder(p.ranks[1]).compute(5);
+  EXPECT_TRUE(hasError(validateProgram(p), "number of collectives"));
+}
+
+TEST(Validate, DetectsCollectiveKindMismatch) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).collective(OpKind::kBarrier);
+  RankProgramBuilder(p.ranks[1]).collective(OpKind::kAlltoall, -1, 8);
+  EXPECT_TRUE(hasError(validateProgram(p), "collective #0"));
+}
+
+TEST(Validate, DetectsRootMismatch) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).collective(OpKind::kBcast, 0, 8);
+  RankProgramBuilder(p.ranks[1]).collective(OpKind::kBcast, 1, 8);
+  EXPECT_TRUE(hasError(validateProgram(p), "collective #0"));
+}
+
+TEST(Validate, WarnsOnHeadToHeadSsend) {
+  Program p(2);
+  RankProgramBuilder(p.ranks[0]).ssend(1, 0, 8).recv(1, 1, 8);
+  RankProgramBuilder(p.ranks[1]).ssend(0, 1, 8).recv(0, 0, 8);
+  EXPECT_TRUE(hasWarning(validateProgram(p), "synchronous sends"));
+}
+
+TEST(Validate, AllAtsBenchmarksAreValid) {
+  ats::AtsConfig cfg;
+  cfg.iterations = 5;
+  cfg.interferenceIters = 5;
+  cfg.dynLoadIters = 5;
+  for (const auto& name : ats::benchmarkNames()) {
+    const ats::Workload w = ats::makeBenchmark(name, cfg);
+    EXPECT_TRUE(isValid(validateProgram(w.program))) << name;
+  }
+}
+
+TEST(Validate, Sweep3DProgramIsValid) {
+  sweep3d::Sweep3DConfig cfg = sweep3d::config8p();
+  cfg.iterations = 1;
+  EXPECT_TRUE(isValid(validateProgram(sweep3d::makeProgram(cfg))));
+}
+
+}  // namespace
+}  // namespace tracered::sim
