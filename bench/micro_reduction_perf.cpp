@@ -3,13 +3,25 @@
 // (de)serialization. These quantify the practical cost of each method — the
 // paper's methods differ not only in quality but also in the work an online
 // reducer would do per segment.
+//
+// The custom main() additionally runs a rank-scaling study (sweep3d_32p,
+// 32 ranks, every method, serial vs hardware-concurrency sharding) on plain
+// invocations or with --rank-scaling, printing one machine-readable JSON
+// line per configuration to stdout before the google-benchmark output, so
+// successive PRs can append to a perf trajectory:
+//   {"bench":"rank_scaling","workload":"sweep3d_32p","method":"relDiff",...}
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
 
 #include "core/methods.hpp"
 #include "core/reducer.hpp"
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
+#include "util/thread_pool.hpp"
 #include "wavelet/wavelet.hpp"
 
 namespace {
@@ -34,6 +46,24 @@ const Fixture& fix() {
   return f;
 }
 
+/// Wide fixture for rank-scaling runs: sweep3d on 32 ranks.
+struct WideFixture {
+  Trace trace;
+  SegmentedTrace segmented;
+
+  WideFixture() {
+    eval::WorkloadOptions opts;
+    opts.scale = 0.25;
+    trace = eval::runWorkload("sweep3d_32p", opts);
+    segmented = segmentTrace(trace);
+  }
+};
+
+const WideFixture& wide() {
+  static WideFixture f;
+  return f;
+}
+
 void BM_Reduce(benchmark::State& state, core::Method method) {
   const Fixture& f = fix();
   const double threshold = core::defaultThreshold(method);
@@ -42,6 +72,22 @@ void BM_Reduce(benchmark::State& state, core::Method method) {
     auto policy = core::makePolicy(method, threshold);
     const core::ReductionResult res =
         core::reduceTrace(f.segmented, f.trace.names(), *policy);
+    benchmark::DoNotOptimize(res.stats.matches);
+    segments += res.stats.totalSegments;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(segments));
+}
+
+/// Rank-sharded reduction over the 32-rank fixture; range(0) = threads.
+void BM_ReduceParallel(benchmark::State& state, core::Method method) {
+  const WideFixture& f = wide();
+  const double threshold = core::defaultThreshold(method);
+  core::ReduceOptions opts;
+  opts.numThreads = static_cast<int>(state.range(0));
+  std::size_t segments = 0;
+  for (auto _ : state) {
+    const core::ReductionResult res =
+        core::reduceTrace(f.segmented, f.trace.names(), method, threshold, opts);
     benchmark::DoNotOptimize(res.stats.matches);
     segments += res.stats.totalSegments;
   }
@@ -77,6 +123,48 @@ void BM_WaveletTransform(benchmark::State& state) {
                           state.range(0));
 }
 
+/// Wall-clock of one parallel reduction, best of `reps`.
+double reduceMillis(const WideFixture& f, core::Method method, int threads, int reps) {
+  const double threshold = core::defaultThreshold(method);
+  core::ReduceOptions opts;
+  opts.numThreads = threads;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ReductionResult res =
+        core::reduceTrace(f.segmented, f.trace.names(), method, threshold, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(res.stats.matches);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// The rank-scaling study: serial vs hardware-concurrency sharding for every
+/// method, one JSON line per method. The perf trajectory future PRs extend.
+void runRankScalingStudy() {
+  const WideFixture& f = wide();
+  // Report the thread count the driver actually uses (clamped to the rank
+  // count), not raw hardware concurrency.
+  const int hw = static_cast<int>(util::resolveThreads(0, f.segmented.ranks.size()));
+  const int reps = 3;
+  std::printf("{\"bench\":\"rank_scaling\",\"workload\":\"sweep3d_32p\","
+              "\"ranks\":%zu,\"segments\":%zu,\"hw_threads\":%d}\n",
+              f.segmented.ranks.size(), f.segmented.totalSegments(), hw);
+  for (core::Method m : core::allMethods()) {
+    const double t1 = reduceMillis(f, m, 1, reps);
+    const double tn = reduceMillis(f, m, hw, reps);
+    std::printf("{\"bench\":\"rank_scaling\",\"workload\":\"sweep3d_32p\","
+                "\"method\":\"%s\",\"threshold\":%g,\"threads_serial\":1,"
+                "\"ms_serial\":%.3f,\"threads_parallel\":%d,\"ms_parallel\":%.3f,"
+                "\"speedup\":%.3f}\n",
+                core::methodName(m), core::defaultThreshold(m), t1, hw, tn,
+                tn > 0 ? t1 / tn : 0.0);
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Reduce, relDiff, tracered::core::Method::kRelDiff);
@@ -88,6 +176,31 @@ BENCHMARK_CAPTURE(BM_Reduce, iter_k, tracered::core::Method::kIterK);
 BENCHMARK_CAPTURE(BM_Reduce, avgWave, tracered::core::Method::kAvgWave);
 BENCHMARK_CAPTURE(BM_Reduce, haarWave, tracered::core::Method::kHaarWave);
 BENCHMARK_CAPTURE(BM_Reduce, iter_avg, tracered::core::Method::kIterAvg);
+BENCHMARK_CAPTURE(BM_ReduceParallel, avgWave, tracered::core::Method::kAvgWave)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_ReduceParallel, Euclidean, tracered::core::Method::kEuclidean)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Segment);
 BENCHMARK(BM_SerializeFull);
 BENCHMARK(BM_WaveletTransform)->Arg(8)->Arg(64)->Arg(512);
+
+int main(int argc, char** argv) {
+  // The study runs on a plain invocation or with --rank-scaling; benchmark
+  // tooling passing --benchmark_* flags gets an unpolluted stdout stream.
+  bool study = argc == 1;
+  int keptArgc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--rank-scaling")
+      study = true;
+    else
+      argv[keptArgc++] = argv[i];
+  }
+  argc = keptArgc;
+  if (study) runRankScalingStudy();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace tracered;
 
@@ -32,8 +33,14 @@ int main() {
               analysis::renderCube(prepared.fullCube, prepared.trace.names(), 6).c_str());
 
   // 3. Reduce with avgWave at the paper's default threshold and evaluate.
+  //    Reduction is sharded across all hardware threads (numThreads = 0);
+  //    the result is bit-identical to a serial run for any thread count.
+  core::ReduceOptions par;
+  par.numThreads = 0;
+  std::printf("reducing with %zu worker thread(s)\n\n",
+              util::resolveThreads(par.numThreads, prepared.segmented.ranks.size()));
   const eval::MethodEvaluation ev =
-      eval::evaluateMethodDefault(prepared, core::Method::kAvgWave);
+      eval::evaluateMethodDefault(prepared, core::Method::kAvgWave, par);
 
   TextTable t;
   t.header({"criterion", "value"});

@@ -5,6 +5,7 @@
 // streaming reducer one at a time — the way a measurement layer would — and
 // reports the memory the tool retains versus the bytes a full trace file
 // would have needed, plus proof that the result equals offline reduction.
+#include <algorithm>
 #include <cstdio>
 
 #include "core/online_reducer.hpp"
@@ -23,38 +24,23 @@ int main() {
   std::printf("simulated NtoN_32: %d ranks, %zu records\n", trace.numRanks(),
               trace.totalRecords());
 
-  // Stream every record through the online reducer, checkpointing the
-  // retained-memory counter of rank 0 as the "run" progresses.
+  // Stream every record through the online reducer. Feed rank-major (a real
+  // tool reduces each rank locally and in parallel; order across ranks does
+  // not matter).
   core::OnlineReducer online(trace.names(), core::Method::kAvgWave, 0.2);
-  core::OnlineRankReducer* rank0 = nullptr;
+  for (Rank r = 0; r < trace.numRanks(); ++r)
+    for (const RawRecord& rec : trace.rank(r).records) online.feed(r, rec);
+
+  // Retained-bytes curve via a dedicated rank-0 reducer: checkpoint the
+  // memory an online tool would be holding as the "run" progresses.
   std::vector<std::pair<std::size_t, std::size_t>> checkpoints;  // (records, bytes)
-
-  std::size_t fed = 0;
-  const std::size_t step = trace.rank(0).records.size() / 8;
-  // Feed rank-major (a real tool reduces each rank locally and in parallel;
-  // order across ranks does not matter).
-  for (Rank r = 0; r < trace.numRanks(); ++r) {
-    for (const RawRecord& rec : trace.rank(r).records) {
-      online.feed(r, rec);
-      if (r == 0 && ++fed % step == 0) {
-        // Track how much the rank-0 reducer is holding.
-        // (OnlineReducer owns per-rank reducers; we recompute via a second
-        //  independent reducer below for the retained-bytes curve.)
-        checkpoints.emplace_back(fed, 0);
-      }
-    }
-  }
-  (void)rank0;
-
-  // Retained-bytes curve via a dedicated rank-0 reducer.
   auto policy = core::makePolicy(core::Method::kAvgWave, 0.2);
   core::OnlineRankReducer r0(0, trace.names(), *policy);
-  fed = 0;
-  std::size_t cp = 0;
+  const std::size_t step = std::max<std::size_t>(1, trace.rank(0).records.size() / 8);
+  std::size_t fed = 0;
   for (const RawRecord& rec : trace.rank(0).records) {
     r0.feed(rec);
-    if (++fed % step == 0 && cp < checkpoints.size())
-      checkpoints[cp++].second = r0.retainedBytes();
+    if (++fed % step == 0) checkpoints.emplace_back(fed, r0.retainedBytes());
   }
 
   TextTable t;
@@ -63,7 +49,11 @@ int main() {
     t.row({std::to_string(records), fmtBytes(bytes)});
   std::printf("\n%s\n", t.str().c_str());
 
-  const core::ReductionResult streamed = online.finish();
+  // Finish all ranks, sharded across every hardware thread (the thread count
+  // never changes the result, only the wall clock).
+  core::ReduceOptions par;
+  par.numThreads = 0;
+  const core::ReductionResult streamed = online.finish(par);
   const std::size_t fullBytes = fullTraceSize(trace);
   const std::size_t reducedBytes = reducedTraceSize(streamed.reduced);
   std::printf("full trace file:    %s\n", fmtBytes(fullBytes).c_str());
@@ -71,11 +61,18 @@ int main() {
               fmtBytes(reducedBytes).c_str(), 100.0 * reducedBytes / fullBytes,
               streamed.stats.degreeOfMatching());
 
-  // Sanity: identical to the offline pipeline.
+  // Sanity: bit-identical to the offline pipeline, serial and rank-sharded
+  // alike (all three drive the same RankReductionEngine). Compare content,
+  // not just sizes.
+  const SegmentedTrace segmented = segmentTrace(trace);
   auto offPolicy = core::makePolicy(core::Method::kAvgWave, 0.2);
   const core::ReductionResult offline =
-      core::reduceTrace(segmentTrace(trace), trace.names(), *offPolicy);
+      core::reduceTrace(segmented, trace.names(), *offPolicy);
+  const core::ReductionResult offlinePar =
+      core::reduceTrace(segmented, trace.names(), core::Method::kAvgWave, 0.2, par);
   std::printf("offline equivalence: %s\n",
-              reducedTraceSize(offline.reduced) == reducedBytes ? "exact" : "MISMATCH");
+              offline.reduced.ranks == streamed.reduced.ranks ? "exact" : "MISMATCH");
+  std::printf("parallel offline equivalence: %s\n",
+              offlinePar.reduced.ranks == streamed.reduced.ranks ? "exact" : "MISMATCH");
   return 0;
 }

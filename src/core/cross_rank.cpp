@@ -12,6 +12,8 @@ MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
   MergedReducedTrace out;
   for (const auto& s : reduced.names.all()) out.names.intern(s);
   out.execs.resize(reduced.ranks.size());
+  out.rankIds.reserve(reduced.ranks.size());
+  for (const RankReduced& rr : reduced.ranks) out.rankIds.push_back(rr.rank);
 
   policy.beginRank();  // one synthetic "rank" holding the shared store
   SegmentStore shared;
@@ -49,7 +51,9 @@ SegmentedTrace reconstructMerged(const MergedReducedTrace& merged) {
   out.ranks.resize(merged.execs.size());
   for (std::size_t r = 0; r < merged.execs.size(); ++r) {
     RankSegments& rs = out.ranks[r];
-    rs.rank = static_cast<Rank>(r);
+    // Ranks fed sparsely (e.g. through OnlineReducer) keep their real ids;
+    // hand-built traces without rankIds fall back to positional labels.
+    rs.rank = r < merged.rankIds.size() ? merged.rankIds[r] : static_cast<Rank>(r);
     rs.segments.reserve(merged.execs[r].size());
     for (const SegmentExec& e : merged.execs[r]) {
       Segment seg = merged.sharedStore.at(e.id);
@@ -100,7 +104,12 @@ std::size_t mergedTraceSize(const MergedReducedTrace& merged) {
     }
   }
   w.uvarint(merged.execs.size());
-  for (const auto& execs : merged.execs) {
+  for (std::size_t r = 0; r < merged.execs.size(); ++r) {
+    const auto& execs = merged.execs[r];
+    // uvarint, matching serializeReducedTrace's rank-id encoding (ranks are
+    // non-negative; svarint would zigzag-double every id).
+    w.uvarint(static_cast<std::uint64_t>(
+        r < merged.rankIds.size() ? merged.rankIds[r] : static_cast<Rank>(r)));
     w.uvarint(execs.size());
     TimeUs prev = 0;
     for (const SegmentExec& e : execs) {

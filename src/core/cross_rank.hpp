@@ -24,6 +24,8 @@ namespace tracered::core {
 struct MergedReducedTrace {
   StringTable names;
   std::vector<Segment> sharedStore;            ///< Deduplicated representatives.
+  std::vector<Rank> rankIds;                   ///< Rank id of each execs row
+                                               ///< (rank ids may be sparse).
   std::vector<std::vector<SegmentExec>> execs; ///< Per rank, ids into sharedStore.
 
   std::size_t totalExecs() const {

@@ -2,9 +2,11 @@
 
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "core/methods.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tracered::core {
 
@@ -18,10 +20,7 @@ namespace {
 
 OnlineRankReducer::OnlineRankReducer(Rank rank, const StringTable& names,
                                      SimilarityPolicy& policy)
-    : rank_(rank), names_(names), policy_(policy) {
-  result_.rank = rank;
-  policy_.beginRank();
-}
+    : rank_(rank), names_(names), engine_(rank, policy) {}
 
 void OnlineRankReducer::closeSegment(TimeUs endTime) {
   Segment seg = std::move(*current_);
@@ -31,16 +30,7 @@ void OnlineRankReducer::closeSegment(TimeUs endTime) {
     e.start -= seg.absStart;
     e.end -= seg.absStart;
   }
-
-  ++stats_.totalSegments;
-  if (auto matched = policy_.tryMatch(seg, store_)) {
-    ++stats_.matches;
-    result_.execs.push_back(SegmentExec{*matched, seg.absStart});
-  } else {
-    const SegmentId id = store_.add(seg);
-    policy_.onStored(store_.segment(id), id);
-    result_.execs.push_back(SegmentExec{id, seg.absStart});
-  }
+  engine_.consume(seg);
 }
 
 void OnlineRankReducer::feed(const RawRecord& record) {
@@ -90,54 +80,60 @@ RankReduced OnlineRankReducer::finish() {
   if (pending_) fail(rank_, "stream ends inside an open event");
   if (current_) fail(rank_, "stream ends inside an open segment");
   finished_ = true;
-
-  // The degree-of-matching denominator: distinct signature groups seen.
-  std::unordered_set<std::uint64_t> groups;
-  for (const Segment& s : store_.all()) groups.insert(s.signature());
-  // Every match joined an existing group, so groups == distinct signatures.
-  stats_.possibleMatches = stats_.totalSegments - groups.size();
-  stats_.storedSegments = store_.size();
-
-  policy_.finishRank(store_);
-  result_.stored = std::move(store_).takeAll();
-  return std::move(result_);
-}
-
-std::size_t OnlineRankReducer::retainedBytes() const {
-  std::size_t bytes = result_.execs.size() * sizeof(SegmentExec);
-  for (const Segment& s : store_.all())
-    bytes += sizeof(Segment) + s.events.size() * sizeof(EventInterval);
-  return bytes;
+  return engine_.finish();
 }
 
 OnlineReducer::OnlineReducer(const StringTable& names, Method method, double threshold)
     : names_(names), method_(method), threshold_(threshold) {}
 
-void OnlineReducer::feed(Rank rank, const RawRecord& record) {
+std::map<Rank, OnlineReducer::PerRank>::iterator OnlineReducer::ensure(Rank rank) {
+  if (finished_) throw std::logic_error("online reducer: feed/ensureRank after finish");
   if (rank < 0) throw std::invalid_argument("online reducer: negative rank");
-  while (ranks_.size() <= static_cast<std::size_t>(rank)) {
+  auto it = ranks_.lower_bound(rank);
+  if (it == ranks_.end() || it->first != rank) {
     PerRank pr;
     pr.policy = makePolicy(method_, threshold_);
-    pr.reducer = std::make_unique<OnlineRankReducer>(
-        static_cast<Rank>(ranks_.size()), names_, *pr.policy);
-    ranks_.push_back(std::move(pr));
+    pr.reducer = std::make_unique<OnlineRankReducer>(rank, names_, *pr.policy);
+    it = ranks_.emplace_hint(it, rank, std::move(pr));
   }
-  ranks_[static_cast<std::size_t>(rank)].reducer->feed(record);
+  return it;
 }
 
-ReductionResult OnlineReducer::finish() {
-  ReductionResult out;
-  for (const auto& s : names_.all()) out.reduced.names.intern(s);
-  for (auto& pr : ranks_) {
-    RankReduced rr = pr.reducer->finish();
-    const ReductionStats& st = pr.reducer->stats();  // totals set by finish()
-    out.stats.totalSegments += st.totalSegments;
-    out.stats.matches += st.matches;
-    out.stats.possibleMatches += st.possibleMatches;
-    out.stats.storedSegments += rr.stored.size();
-    out.reduced.ranks.push_back(std::move(rr));
+void OnlineReducer::ensureRank(Rank rank) { ensure(rank); }
+
+void OnlineReducer::feed(Rank rank, const RawRecord& record) {
+  if (lastReducer_ == nullptr || rank != lastRank_) {
+    lastReducer_ = ensure(rank)->second.reducer.get();
+    lastRank_ = rank;
   }
-  return out;
+  lastReducer_->feed(record);
+}
+
+ReductionResult OnlineReducer::finish(const ReduceOptions& options) {
+  if (finished_) throw std::logic_error("online reducer: finish called twice");
+  finished_ = true;
+  lastReducer_ = nullptr;  // route post-finish feeds into ensure()'s guard
+
+  const std::size_t numRanks = ranks_.size();
+  const std::size_t threads = util::resolveThreads(options.numThreads, numRanks);
+
+  // The map iterates in rank-id order; finishing each slot is independent
+  // (per-rank policy and store), so the finishes can run on any worker while
+  // the indexed writes keep assembly deterministic.
+  std::vector<OnlineRankReducer*> reducers;
+  reducers.reserve(numRanks);
+  for (auto& [rank, pr] : ranks_) reducers.push_back(pr.reducer.get());
+
+  std::vector<RankReduced> reducedByIndex(numRanks);
+  util::parallelShard(threads, numRanks, [&](std::size_t, std::size_t i) {
+    reducedByIndex[i] = reducers[i]->finish();
+  });
+
+  std::vector<ReductionStats> statsByIndex;
+  statsByIndex.reserve(numRanks);
+  for (const OnlineRankReducer* r : reducers)
+    statsByIndex.push_back(r->stats());  // totals set by finish()
+  return assembleReduction(names_, std::move(reducedByIndex), statsByIndex);
 }
 
 }  // namespace tracered::core

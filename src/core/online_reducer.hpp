@@ -5,19 +5,25 @@
 // measurement layer, record by record. OnlineReducer implements exactly the
 // offline pipeline (segmenter -> Sec. 3.1 matching) in streaming form: feed
 // it one rank's raw records as they are produced; it segments on the fly,
-// matches each completed segment immediately, and keeps only the
-// representative store plus the execution table in memory.
+// hands each completed segment to the shared RankReductionEngine, and keeps
+// only the representative store plus the execution table in memory.
 //
 // Guarantee (tested): for any valid record stream, the result is
 // bit-identical to segmenting the whole trace and running the offline
-// reducer with the same policy.
+// reducer with the same policy — for every rank that appears in the stream
+// (or was pre-registered via ensureRank). A rank with no records cannot be
+// discovered from the stream; the offline reducer emits an empty entry for
+// it, so a caller that must mirror such a trace exactly pre-registers its
+// rank set with ensureRank.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <optional>
 
 #include "core/methods.hpp"
+#include "core/rank_reduction_engine.hpp"
 #include "core/reducer.hpp"
 #include "core/similarity.hpp"
 #include "trace/reduced_trace.hpp"
@@ -27,12 +33,13 @@
 
 namespace tracered::core {
 
-/// Streaming reducer for a single rank.
+/// Streaming reducer for a single rank: a record-stream segmenter in front
+/// of a RankReductionEngine.
 class OnlineRankReducer {
  public:
   /// `names` must outlive the reducer (it is the trace-wide string table the
-  /// records' NameIds refer to). The policy is owned by the caller and must
-  /// have beginRank() semantics applied by this class.
+  /// records' NameIds refer to). The policy is owned by the caller; its
+  /// beginRank() reset is applied by the engine.
   OnlineRankReducer(Rank rank, const StringTable& names, SimilarityPolicy& policy);
 
   /// Feeds the next raw record. Throws std::runtime_error on malformed
@@ -43,23 +50,20 @@ class OnlineRankReducer {
   /// rank's reduction. The reducer cannot be fed afterwards.
   RankReduced finish();
 
-  /// Matching statistics so far.
-  const ReductionStats& stats() const { return stats_; }
+  /// Matching statistics so far (totals finalized by finish()).
+  const ReductionStats& stats() const { return engine_.stats(); }
 
   /// Current memory footprint of the retained data (stored segments +
   /// execs), in approximate bytes — the number an online tool would watch
-  /// to decide when to spill.
-  std::size_t retainedBytes() const;
+  /// to decide when to spill. Meaningful only until finish().
+  std::size_t retainedBytes() const { return engine_.retainedBytes(); }
 
  private:
   void closeSegment(TimeUs endTime);
 
   Rank rank_;
   const StringTable& names_;
-  SimilarityPolicy& policy_;
-  SegmentStore store_;
-  RankReduced result_;
-  ReductionStats stats_;
+  RankReductionEngine engine_;
 
   std::optional<Segment> current_;     // open segment, absolute event times
   std::optional<RawRecord> pending_;   // open function invocation
@@ -68,26 +72,45 @@ class OnlineRankReducer {
 
 /// Streaming reducer for a whole application: one OnlineRankReducer per
 /// rank, one policy instance per rank (policies are stateful per rank).
+/// Ranks are indexed sparsely: feeding ranks {3, 1024} allocates exactly two
+/// reducers, and finish() emits results ordered by rank id.
 class OnlineReducer {
  public:
-  /// `makePolicy` is invoked once per rank.
+  /// `makePolicy` is invoked once per fed rank.
   OnlineReducer(const StringTable& names, Method method, double threshold);
 
-  /// Feeds a record for `rank`, growing the rank set on demand.
+  /// Pre-registers `rank` so it appears in finish() even if it never feeds
+  /// a record (mirrors the offline reducer's empty entry for idle ranks).
+  void ensureRank(Rank rank);
+
+  /// Feeds a record for `rank`, creating that rank's reducer on first use.
   void feed(Rank rank, const RawRecord& record);
 
-  /// Finishes all ranks and assembles the reduced trace.
-  ReductionResult finish();
+  /// Finishes all fed ranks (sharded across `options.numThreads` workers;
+  /// 1 = serial, 0 = hardware concurrency) and assembles the reduced trace
+  /// in rank order. Deterministic for any thread count.
+  ReductionResult finish(const ReduceOptions& options = {});
 
  private:
   struct PerRank {
     std::unique_ptr<SimilarityPolicy> policy;
     std::unique_ptr<OnlineRankReducer> reducer;
   };
+
+  /// Finds or creates `rank`'s slot in one map traversal.
+  std::map<Rank, PerRank>::iterator ensure(Rank rank);
+
   const StringTable& names_;
   Method method_;
   double threshold_;
-  std::vector<PerRank> ranks_;
+  std::map<Rank, PerRank> ranks_;  ///< Keyed by rank id; sparse-safe, ordered.
+
+  // Feeds are rank-major in practice, so cache the last rank's reducer and
+  // only walk the map on a rank change (keeps feed() O(1) per record).
+  // Node-based map + unique_ptr make the cached pointer stable.
+  Rank lastRank_ = -1;
+  OnlineRankReducer* lastReducer_ = nullptr;
+  bool finished_ = false;
 };
 
 }  // namespace tracered::core

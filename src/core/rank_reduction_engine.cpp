@@ -1,0 +1,55 @@
+#include "core/rank_reduction_engine.hpp"
+
+#include <stdexcept>
+
+namespace tracered::core {
+
+RankReductionEngine::RankReductionEngine(Rank rank, SimilarityPolicy& policy)
+    : policy_(policy) {
+  result_.rank = rank;
+  policy_.beginRank();
+}
+
+void RankReductionEngine::consume(const Segment& seg) {
+  if (finished_)
+    throw std::logic_error("rank reduction engine: consume after finish");
+  ++stats_.totalSegments;
+  // Signature groups for the possible-match count. Signatures are hashes;
+  // collisions would only perturb the *denominator* of the degree of
+  // matching by a vanishing amount, so a set of hashes suffices here.
+  groups_.insert(seg.signature());
+
+  if (auto matched = policy_.tryMatch(seg, store_)) {
+    ++stats_.matches;
+    result_.execs.push_back(SegmentExec{*matched, seg.absStart});
+  } else {
+    const SegmentId id = store_.add(seg);
+    policy_.onStored(store_.segment(id), id);
+    result_.execs.push_back(SegmentExec{id, seg.absStart});
+  }
+}
+
+RankReduced RankReductionEngine::finish() {
+  if (finished_)
+    throw std::logic_error("rank reduction engine: finish called twice");
+  finished_ = true;
+
+  // Every match joins a group whose first member was stored, so the distinct
+  // incoming signatures equal the distinct stored signatures — the same
+  // denominator whether the accounting runs offline or streaming.
+  stats_.possibleMatches = stats_.totalSegments - groups_.size();
+  stats_.storedSegments = store_.size();
+
+  policy_.finishRank(store_);
+  result_.stored = std::move(store_).takeAll();
+  return std::move(result_);
+}
+
+std::size_t RankReductionEngine::retainedBytes() const {
+  std::size_t bytes = result_.execs.size() * sizeof(SegmentExec);
+  for (const Segment& s : store_.all())
+    bytes += sizeof(Segment) + s.events.size() * sizeof(EventInterval);
+  return bytes;
+}
+
+}  // namespace tracered::core

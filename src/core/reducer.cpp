@@ -1,47 +1,89 @@
 #include "core/reducer.hpp"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace tracered::core {
 
-ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
-                            SimilarityPolicy& policy) {
+namespace {
+
+/// Runs the Sec. 3.1 loop for one rank through the shared engine.
+std::pair<RankReduced, ReductionStats> reduceRank(const RankSegments& rank,
+                                                  SimilarityPolicy& policy) {
+  RankReductionEngine engine(rank.rank, policy);
+  for (const Segment& seg : rank.segments) engine.consume(seg);
+  RankReduced reduced = engine.finish();
+  return {std::move(reduced), engine.stats()};
+}
+
+}  // namespace
+
+ReductionResult assembleReduction(const StringTable& names,
+                                  std::vector<RankReduced>&& ranks,
+                                  const std::vector<ReductionStats>& stats) {
   ReductionResult out;
   for (const auto& s : names.all()) out.reduced.names.intern(s);
-
-  for (const RankSegments& rank : segmented.ranks) {
-    policy.beginRank();
-    SegmentStore store;
-    RankReduced rr;
-    rr.rank = rank.rank;
-
-    // Signature groups for the possible-match count. Signatures are hashes;
-    // collisions would only perturb the *denominator* of the degree of
-    // matching by a vanishing amount, so a set of hashes suffices here.
-    std::unordered_set<std::uint64_t> groups;
-
-    for (const Segment& seg : rank.segments) {
-      ++out.stats.totalSegments;
-      groups.insert(seg.signature());
-
-      if (auto matched = policy.tryMatch(seg, store)) {
-        ++out.stats.matches;
-        rr.execs.push_back(SegmentExec{*matched, seg.absStart});
-      } else {
-        const SegmentId id = store.add(seg);
-        policy.onStored(store.segment(id), id);
-        rr.execs.push_back(SegmentExec{id, seg.absStart});
-      }
-    }
-    out.stats.possibleMatches += rank.segments.size() - groups.size();
-
-    policy.finishRank(store);
-    rr.stored = std::move(store).takeAll();
-    out.stats.storedSegments += rr.stored.size();
-    out.reduced.ranks.push_back(std::move(rr));
-  }
+  out.reduced.ranks = std::move(ranks);
+  for (const ReductionStats& st : stats) out.stats.merge(st);
   return out;
+}
+
+ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
+                            SimilarityPolicy& policy) {
+  std::vector<RankReduced> reducedByRank;
+  std::vector<ReductionStats> statsByRank;
+  reducedByRank.reserve(segmented.ranks.size());
+  statsByRank.reserve(segmented.ranks.size());
+  for (const RankSegments& rank : segmented.ranks) {
+    auto [reduced, stats] = reduceRank(rank, policy);
+    reducedByRank.push_back(std::move(reduced));
+    statsByRank.push_back(stats);
+  }
+  return assembleReduction(names, std::move(reducedByRank), statsByRank);
+}
+
+ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
+                            Method method, double threshold,
+                            const ReduceOptions& options) {
+  const std::size_t numRanks = segmented.ranks.size();
+  const std::size_t threads = util::resolveThreads(options.numThreads, numRanks);
+
+  if (threads <= 1) {
+    const auto policy = makePolicy(method, threshold);
+    return reduceTrace(segmented, names, *policy);
+  }
+
+  // Rank-sharded parallel driver. Ranks are claimed dynamically (cheap ranks
+  // finish early; workers move on), but each result is written to its rank's
+  // slot, so assembly below is in rank order and the output is bit-identical
+  // to serial regardless of scheduling. One policy instance per worker:
+  // policies are stateful per rank and reset via beginRank(), exactly as the
+  // serial driver reuses its one policy across ranks.
+  //
+  // Determinism constraint: this depends on beginRank() FULLY resetting the
+  // policy — a policy whose behavior depends on how many ranks it has seen
+  // (e.g. sampling.hpp's RandomSamplingPolicy, which seeds its RNG from a
+  // per-policy rank counter) would vary with scheduling. Every method
+  // reachable through makePolicy satisfies the constraint; keep it that way
+  // (or switch such a policy to keying off Segment::rank) before adding one
+  // to the Method enum.
+  std::vector<std::unique_ptr<SimilarityPolicy>> policies;
+  policies.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) policies.push_back(makePolicy(method, threshold));
+
+  std::vector<RankReduced> reducedByRank(numRanks);
+  std::vector<ReductionStats> statsByRank(numRanks);
+  util::parallelShard(threads, numRanks, [&](std::size_t worker, std::size_t i) {
+    auto [reduced, stats] = reduceRank(segmented.ranks[i], *policies[worker]);
+    reducedByRank[i] = std::move(reduced);
+    statsByRank[i] = stats;
+  });
+
+  return assembleReduction(names, std::move(reducedByRank), statsByRank);
 }
 
 }  // namespace tracered::core

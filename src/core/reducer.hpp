@@ -5,10 +5,18 @@
 // similarity policy for a match among stored representatives; on a match,
 // record (representative id, start time) in segmentExecs; otherwise store
 // the segment as a new representative and record its own id.
+//
+// The per-rank matching loop itself lives in RankReductionEngine; this
+// header provides the whole-trace drivers: the serial `reduceTrace` (one
+// caller-owned policy reused across ranks) and the rank-sharded parallel
+// overload (one policy instance per worker, results assembled in rank order
+// so the output is bit-identical to serial for any thread count).
 #pragma once
 
 #include <cstddef>
 
+#include "core/methods.hpp"
+#include "core/rank_reduction_engine.hpp"
 #include "core/similarity.hpp"
 #include "trace/reduced_trace.hpp"
 #include "trace/segment.hpp"
@@ -16,30 +24,38 @@
 
 namespace tracered::core {
 
-/// Match-accounting for the degree-of-matching criterion (Sec. 4.3.2).
-struct ReductionStats {
-  std::size_t totalSegments = 0;
-  std::size_t storedSegments = 0;
-  std::size_t matches = 0;          ///< Segments recorded against an existing id.
-  std::size_t possibleMatches = 0;  ///< totalSegments - #signature groups.
-
-  /// matches / possibleMatches; 1.0 when nothing could have matched.
-  double degreeOfMatching() const {
-    return possibleMatches == 0
-               ? 1.0
-               : static_cast<double>(matches) / static_cast<double>(possibleMatches);
-  }
+/// Options for the parallel reduction driver.
+struct ReduceOptions {
+  /// Worker threads to shard ranks across. 1 = serial (no pool); 0 or
+  /// negative = std::thread::hardware_concurrency(). The thread count never
+  /// affects the result, only the wall clock.
+  int numThreads = 1;
 };
 
-/// Result of reducing one whole trace.
+/// Result of reducing one whole trace. `stats` is the merge of the per-rank
+/// stats.
 struct ReductionResult {
   ReducedTrace reduced;
   ReductionStats stats;
 };
 
-/// Reduces `segmented` (all ranks) with `policy`. `names` is copied into the
-/// reduced trace so it is self-contained.
+/// Assembles a whole-trace result from per-rank pieces (already in rank
+/// order), interning `names` and merging stats. Shared by the serial,
+/// parallel, and online drivers so their assembly can never diverge.
+ReductionResult assembleReduction(const StringTable& names,
+                                  std::vector<RankReduced>&& ranks,
+                                  const std::vector<ReductionStats>& stats);
+
+/// Reduces `segmented` (all ranks) with `policy`, serially in rank order.
+/// `names` is copied into the reduced trace so it is self-contained.
 ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
                             SimilarityPolicy& policy);
+
+/// Reduces `segmented` sharding ranks across `options.numThreads` workers,
+/// instantiating one policy per worker via makePolicy(method, threshold).
+/// Deterministic: bit-identical to the serial overload for any thread count.
+ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
+                            Method method, double threshold,
+                            const ReduceOptions& options = {});
 
 }  // namespace tracered::core

@@ -47,15 +47,14 @@ double approximationDistance(const SegmentedTrace& original,
 }
 
 MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method method,
-                                double threshold) {
+                                double threshold, const core::ReduceOptions& options) {
   MethodEvaluation out;
   out.method = method;
   out.threshold = threshold;
   out.fullBytes = prepared.fullBytes;
 
-  const auto policy = core::makePolicy(method, threshold);
-  core::ReductionResult reduction =
-      core::reduceTrace(prepared.segmented, prepared.trace.names(), *policy);
+  core::ReductionResult reduction = core::reduceTrace(
+      prepared.segmented, prepared.trace.names(), method, threshold, options);
 
   out.reducedBytes = reducedTraceSize(reduction.reduced);
   out.filePct = 100.0 * static_cast<double>(out.reducedBytes) /
@@ -72,8 +71,9 @@ MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method meth
   return out;
 }
 
-MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method) {
-  return evaluateMethod(prepared, method, core::defaultThreshold(method));
+MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method,
+                                       const core::ReduceOptions& options) {
+  return evaluateMethod(prepared, method, core::defaultThreshold(method), options);
 }
 
 }  // namespace tracered::eval

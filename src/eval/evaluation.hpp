@@ -56,11 +56,16 @@ struct MethodEvaluation {
 };
 
 /// Runs reduce -> size -> reconstruct -> error -> diagnose for one method.
+/// `options.numThreads` shards the reduction across ranks (1 = serial,
+/// 0 = hardware concurrency); the result never depends on the thread count,
+/// so sweeps stay comparable across machines.
 MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method method,
-                                double threshold);
+                                double threshold,
+                                const core::ReduceOptions& options = {});
 
 /// evaluateMethod at the paper's default threshold.
-MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method);
+MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method,
+                                       const core::ReduceOptions& options = {});
 
 /// The approximation-distance metric on its own: percentile (default p90) of
 /// absolute timestamp differences between two structurally identical

@@ -27,6 +27,8 @@ struct RankReduced {
   Rank rank = 0;
   std::vector<Segment> stored;
   std::vector<SegmentExec> execs;
+
+  friend bool operator==(const RankReduced&, const RankReduced&) = default;
 };
 
 /// Whole-application reduced trace.

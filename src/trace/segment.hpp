@@ -32,6 +32,8 @@ struct Segment {
   /// `compatible` only if their signatures are equal; the reducer buckets
   /// stored segments by this to avoid quadratic scans.
   std::uint64_t signature() const;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
 };
 
 /// Measurement vector in the order used by the Minkowski distances

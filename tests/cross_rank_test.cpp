@@ -120,5 +120,35 @@ TEST(CrossRank, EarlierRanksWinFirstMatch) {
   EXPECT_EQ(merged.execs[1][0].id, 0u);
 }
 
+TEST(CrossRank, SparseRankIdsSurviveMergeAndReconstruction) {
+  // Sparse rank ids (as OnlineReducer now produces) must not be relabeled
+  // positionally by the merge/reconstruct pair.
+  ReducedTrace rt;
+  const NameId ctx = rt.names.intern("main.1");
+  for (Rank rank : {Rank(3), Rank(1024)}) {
+    RankReduced rr;
+    rr.rank = rank;
+    Segment s;
+    s.context = ctx;
+    s.rank = rank;
+    s.end = 50;
+    rr.stored.push_back(s);
+    rr.execs.push_back({0, 10});
+    rt.ranks.push_back(std::move(rr));
+  }
+  AbsDiffPolicy permissive(1e9);
+  const MergedReducedTrace merged = mergeAcrossRanks(rt, permissive, nullptr);
+  ASSERT_EQ(merged.rankIds.size(), 2u);
+  EXPECT_EQ(merged.rankIds[0], 3);
+  EXPECT_EQ(merged.rankIds[1], 1024);
+
+  const SegmentedTrace rec = reconstructMerged(merged);
+  ASSERT_EQ(rec.ranks.size(), 2u);
+  EXPECT_EQ(rec.ranks[0].rank, 3);
+  EXPECT_EQ(rec.ranks[1].rank, 1024);
+  ASSERT_EQ(rec.ranks[1].segments.size(), 1u);
+  EXPECT_EQ(rec.ranks[1].segments[0].rank, 1024);
+}
+
 }  // namespace
 }  // namespace tracered::core

@@ -1,0 +1,220 @@
+// The equivalence matrix of the rank-sharded reduction driver: for every
+// method at its default threshold, offline serial == offline parallel
+// (threads 1, 2, 8) == online, with bit-identical ReducedTraces and
+// identical merged ReductionStats. Plus sparse-rank indexing in the online
+// reducer and stats-merge algebra.
+#include <gtest/gtest.h>
+
+#include "core/methods.hpp"
+#include "core/online_reducer.hpp"
+#include "core/reducer.hpp"
+#include "eval/workloads.hpp"
+#include "trace/segmenter.hpp"
+
+namespace tracered::core {
+namespace {
+
+/// Multi-rank synthetic trace shared by the matrix tests (8 ranks with
+/// rank-dependent timing from the late-sender simulator).
+const Trace& matrixTrace() {
+  static const Trace trace = [] {
+    eval::WorkloadOptions opts;
+    opts.scale = 0.15;
+    return eval::runWorkload("late_sender", opts);
+  }();
+  return trace;
+}
+
+ReductionResult reduceOnline(const Trace& trace, Method m, double thr,
+                             const ReduceOptions& options = {}) {
+  OnlineReducer red(trace.names(), m, thr);
+  for (Rank r = 0; r < trace.numRanks(); ++r)
+    for (const RawRecord& rec : trace.rank(r).records) red.feed(r, rec);
+  return red.finish(options);
+}
+
+void expectIdentical(const ReductionResult& a, const ReductionResult& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.stats, b.stats) << what;
+  EXPECT_EQ(a.reduced.names.all(), b.reduced.names.all()) << what;
+  ASSERT_EQ(a.reduced.ranks.size(), b.reduced.ranks.size()) << what;
+  for (std::size_t i = 0; i < a.reduced.ranks.size(); ++i)
+    EXPECT_EQ(a.reduced.ranks[i], b.reduced.ranks[i]) << what << " rank " << i;
+}
+
+TEST(ParallelReduce, EquivalenceMatrixAllMethods) {
+  const Trace& trace = matrixTrace();
+  const SegmentedTrace segmented = segmentTrace(trace);
+  ASSERT_GE(trace.numRanks(), 2);
+
+  for (Method m : allMethods()) {
+    const double thr = defaultThreshold(m);
+    SCOPED_TRACE(methodName(m));
+
+    auto policy = makePolicy(m, thr);
+    const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
+
+    for (int threads : {1, 2, 8}) {
+      ReduceOptions opts;
+      opts.numThreads = threads;
+      const ReductionResult parallel =
+          reduceTrace(segmented, trace.names(), m, thr, opts);
+      expectIdentical(serial, parallel,
+                      std::string("parallel threads=") + std::to_string(threads));
+    }
+
+    const ReductionResult online = reduceOnline(trace, m, thr);
+    expectIdentical(serial, online, "online");
+  }
+}
+
+TEST(ParallelReduce, OnlineParallelFinishMatchesSerialFinish) {
+  const Trace& trace = matrixTrace();
+  for (int threads : {2, 8}) {
+    ReduceOptions opts;
+    opts.numThreads = threads;
+    const ReductionResult serialFinish =
+        reduceOnline(trace, Method::kAvgWave, 0.2);
+    const ReductionResult parallelFinish =
+        reduceOnline(trace, Method::kAvgWave, 0.2, opts);
+    expectIdentical(serialFinish, parallelFinish,
+                    "online finish threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelReduce, AutoThreadCountWorks) {
+  const Trace& trace = matrixTrace();
+  const SegmentedTrace segmented = segmentTrace(trace);
+  auto policy = makeDefaultPolicy(Method::kEuclidean);
+  const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
+
+  ReduceOptions opts;
+  opts.numThreads = 0;  // hardware concurrency
+  const ReductionResult parallel = reduceTrace(
+      segmented, trace.names(), Method::kEuclidean,
+      defaultThreshold(Method::kEuclidean), opts);
+  expectIdentical(serial, parallel, "auto threads");
+}
+
+TEST(ParallelReduce, MoreThreadsThanRanksWorks) {
+  const Trace& trace = matrixTrace();
+  const SegmentedTrace segmented = segmentTrace(trace);
+  auto policy = makeDefaultPolicy(Method::kRelDiff);
+  const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
+
+  ReduceOptions opts;
+  opts.numThreads = 64;
+  const ReductionResult parallel =
+      reduceTrace(segmented, trace.names(), Method::kRelDiff,
+                  defaultThreshold(Method::kRelDiff), opts);
+  expectIdentical(serial, parallel, "threads > ranks");
+}
+
+TEST(ParallelReduce, EmptyTraceParallelIsEmpty) {
+  StringTable names;
+  names.intern("main");
+  SegmentedTrace segmented;
+  ReduceOptions opts;
+  opts.numThreads = 8;
+  const ReductionResult res =
+      reduceTrace(segmented, names, Method::kAvgWave, 0.2, opts);
+  EXPECT_TRUE(res.reduced.ranks.empty());
+  EXPECT_EQ(res.stats.totalSegments, 0u);
+  EXPECT_EQ(res.reduced.names.all(), names.all());
+}
+
+TEST(ParallelReduce, StatsMergeIsAssociative) {
+  const ReductionStats a{10, 3, 7, 8};
+  const ReductionStats b{20, 5, 15, 16};
+  const ReductionStats c{1, 1, 0, 0};
+
+  ReductionStats leftFirst = a;
+  leftFirst.merge(b);
+  leftFirst.merge(c);
+
+  ReductionStats rightFirst = b;
+  rightFirst.merge(c);
+  ReductionStats total = a;
+  total.merge(rightFirst);
+
+  EXPECT_EQ(leftFirst, total);
+  EXPECT_EQ(total.totalSegments, 31u);
+  EXPECT_EQ(total.storedSegments, 9u);
+  EXPECT_EQ(total.matches, 22u);
+  EXPECT_EQ(total.possibleMatches, 24u);
+}
+
+TEST(OnlineReducerSparse, OnlyFedRanksAppearOrderedByRank) {
+  StringTable names;
+  const NameId ctx = names.intern("main.1");
+  OnlineReducer red(names, Method::kAbsDiff, 1e9);
+
+  // Feed ranks 7, 2, and 100000 out of order; no intermediate ranks exist.
+  auto feedSegment = [&](Rank r, TimeUs at) {
+    RawRecord begin{RecordKind::kSegBegin, OpKind::kCompute, ctx, at, {}};
+    RawRecord end{RecordKind::kSegEnd, OpKind::kCompute, ctx, at + 10, {}};
+    red.feed(r, begin);
+    red.feed(r, end);
+  };
+  feedSegment(7, 0);
+  feedSegment(2, 5);
+  feedSegment(100000, 9);
+  feedSegment(7, 20);
+
+  const ReductionResult res = red.finish();
+  ASSERT_EQ(res.reduced.ranks.size(), 3u);
+  EXPECT_EQ(res.reduced.ranks[0].rank, 2);
+  EXPECT_EQ(res.reduced.ranks[1].rank, 7);
+  EXPECT_EQ(res.reduced.ranks[2].rank, 100000);
+  EXPECT_EQ(res.reduced.ranks[1].execs.size(), 2u);
+  EXPECT_EQ(res.reduced.ranks[1].stored.size(), 1u);  // permissive: one rep
+  EXPECT_EQ(res.stats.totalSegments, 4u);
+}
+
+TEST(OnlineReducerSparse, EnsureRankMirrorsOfflineEmptyRanks) {
+  // A trace whose middle rank has no records: the offline reducer emits an
+  // empty entry for it; online matches once the rank set is pre-registered.
+  Trace trace(3);
+  for (Rank r : {Rank(0), Rank(2)}) {
+    RankTraceWriter w(trace, r);
+    w.segBegin("main.1", 0);
+    w.segEnd("main.1", 10);
+  }
+
+  auto policy = makeDefaultPolicy(Method::kAbsDiff);
+  const ReductionResult offline =
+      reduceTrace(segmentTrace(trace), trace.names(), *policy);
+  ASSERT_EQ(offline.reduced.ranks.size(), 3u);
+
+  OnlineReducer online(trace.names(), Method::kAbsDiff,
+                       defaultThreshold(Method::kAbsDiff));
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    online.ensureRank(r);
+    for (const RawRecord& rec : trace.rank(r).records) online.feed(r, rec);
+  }
+  expectIdentical(offline, online.finish(), "ensureRank empty-rank");
+}
+
+TEST(OnlineReducerSparse, NegativeRankStillRejected) {
+  StringTable names;
+  OnlineReducer red(names, Method::kAbsDiff, 1.0);
+  RawRecord rec{RecordKind::kSegBegin, OpKind::kCompute, names.intern("x"), 0, {}};
+  EXPECT_THROW(red.feed(-1, rec), std::invalid_argument);
+}
+
+TEST(OnlineReducerSparse, FinishIsTerminal) {
+  StringTable names;
+  const NameId ctx = names.intern("main.1");
+  OnlineReducer red(names, Method::kAbsDiff, 1.0);
+  red.feed(0, RawRecord{RecordKind::kSegBegin, OpKind::kCompute, ctx, 0, {}});
+  red.feed(0, RawRecord{RecordKind::kSegEnd, OpKind::kCompute, ctx, 10, {}});
+  red.finish();
+  RawRecord rec{RecordKind::kSegBegin, OpKind::kCompute, ctx, 20, {}};
+  EXPECT_THROW(red.feed(0, rec), std::logic_error);    // existing rank
+  EXPECT_THROW(red.feed(999, rec), std::logic_error);  // brand-new rank
+  EXPECT_THROW(red.ensureRank(1), std::logic_error);
+  EXPECT_THROW(red.finish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tracered::core
