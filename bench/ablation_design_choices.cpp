@@ -34,8 +34,12 @@ void jitterAblation(const BenchOptions& opts) {
     w.sim.cost.enterJitterMax = jitter;
     const Trace trace = sim::simulate(w.program, w.sim, w.noise.get());
     const eval::PreparedTrace prepared = eval::prepare(trace);
-    const auto rel = eval::evaluateMethod(prepared, core::Method::kRelDiff, 0.4);
-    const auto abs = eval::evaluateMethod(prepared, core::Method::kAbsDiff, 1e3);
+    const auto rel = eval::evaluateMethod(
+        prepared,
+        {.method = core::Method::kRelDiff, .threshold = 0.4, .executor = &opts.executor()});
+    const auto abs = eval::evaluateMethod(
+        prepared,
+        {.method = core::Method::kAbsDiff, .threshold = 1e3, .executor = &opts.executor()});
     t.row({std::to_string(jitter), fmtF(rel.degreeOfMatching, 3),
            fmtF(abs.degreeOfMatching, 3)});
   }

@@ -1,20 +1,26 @@
 // Shared helpers for the paper-artifact bench harnesses.
 //
 // Every harness accepts:
-//   --scale <f>   iteration-count multiplier (default 1.0 = paper-size runs)
-//   --seed <n>    workload seed (default 42)
-//   --csv         additionally emit CSV blocks for plotting
+//   --scale <f>    iteration-count multiplier (default 1.0 = paper-size runs)
+//   --seed <n>     workload seed (default 42)
+//   --csv          additionally emit CSV blocks for plotting
+//   --threads <n>  reduction worker threads (0 = hardware concurrency,
+//                  1 = serial; never changes any number, only the wall clock)
 // and prints aligned tables whose rows mirror the corresponding paper
-// figure/table.
+// figure/table. Harnesses shard every reduction through one shared
+// PooledExecutor (see executor()), so a whole 9-method x 6-threshold sweep
+// spawns workers once instead of per reduction.
 #pragma once
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
 #include "util/cli.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 namespace tracered::bench {
@@ -22,6 +28,7 @@ namespace tracered::bench {
 struct BenchOptions {
   eval::WorkloadOptions workload;
   bool csv = false;
+  int threads = 0;  ///< reduction executor width; 0 = hardware concurrency
 
   static BenchOptions parse(int argc, char** argv) {
     CliArgs args(argc, argv);
@@ -29,8 +36,20 @@ struct BenchOptions {
     opts.workload.scale = args.getDouble("scale", 1.0);
     opts.workload.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     opts.csv = args.getBool("csv", false);
+    opts.threads = args.getInt("threads", 0);
     return opts;
   }
+
+  /// The harness-wide executor: one pool, lazily started, reused by every
+  /// reduction of the run. Valid until the options object dies (harnesses
+  /// keep it alive in main()).
+  util::PooledExecutor& executor() const {
+    if (!executor_) executor_ = std::make_unique<util::PooledExecutor>(threads);
+    return *executor_;
+  }
+
+ private:
+  mutable std::unique_ptr<util::PooledExecutor> executor_;
 };
 
 /// Per-run cache so a harness evaluating many methods on one workload only

@@ -64,7 +64,7 @@ void samplingStudy(TraceCache& cache, const BenchOptions& opts) {
              analysis::verdictName(ev.trends.verdict)});
     }
     for (core::Method m : {core::Method::kIterK, core::Method::kAvgWave}) {
-      const auto ev = eval::evaluateMethodDefault(prepared, m);
+      const auto ev = eval::evaluateMethodDefault(prepared, m, &opts.executor());
       t.row({std::string(core::methodName(m)) + " (ref)", fmtF(ev.filePct, 2),
              fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
              analysis::verdictName(ev.trends.verdict)});
@@ -102,7 +102,7 @@ void halo2dStudy(const BenchOptions& opts) {
     const analysis::Profile originalProfile =
         analysis::Profile::fromTrace(prepared.segmented);
     for (core::Method m : core::allMethods()) {
-      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m, &opts.executor());
       // Aggregate-profile distortion (the Ratn-et-al.-style check).
       auto policy = core::makeDefaultPolicy(m);
       const core::ReductionResult res =

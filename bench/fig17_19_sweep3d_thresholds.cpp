@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
       TextTable t;
       t.header({"threshold", "file %", "degree of matching", "p90 |Δt| (µs)", "stored"});
       for (double thr : core::studyThresholds(m)) {
-        const eval::MethodEvaluation ev = eval::evaluateMethod(prepared, m, thr);
+        const eval::MethodEvaluation ev = eval::evaluateMethod(
+            prepared, {.method = m, .threshold = thr, .executor = &opts.executor()});
         t.row({fmtF(thr, thr < 1 ? 1 : 0), fmtF(ev.filePct, 2),
                fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
                std::to_string(ev.storedSegments)});

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> sizeRow = {name};
     std::vector<std::string> matchRow = {name};
     for (core::Method m : core::allMethods()) {
-      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m, &opts.executor());
       sizeRow.push_back(fmtF(ev.filePct, 2));
       matchRow.push_back(fmtF(ev.degreeOfMatching, 3));
       pctSum[m] += ev.filePct;

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     const eval::PreparedTrace& prepared = cache.get(name);
     std::vector<std::string> row = {name};
     for (core::Method m : core::allMethods()) {
-      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+      const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m, &opts.executor());
       row.push_back(fmtF(ev.approxDistanceUs, 1));
     }
     t.row(std::move(row));

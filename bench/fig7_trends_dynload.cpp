@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   TextTable verdicts;
   verdicts.header({"method", "threshold", "verdict", "why"});
   for (core::Method m : core::allMethods()) {
-    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m, &opts.executor());
     std::printf("%s", analysis::renderChart(ev.reducedCube, prepared.fullCube,
                                             prepared.trace.names(), rows,
                                             core::methodName(m))

@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       std::vector<std::string> sizeRow = {name};
       std::vector<std::string> distRow = {name};
       for (double t : core::studyThresholds(m)) {
-        const eval::MethodEvaluation ev = eval::evaluateMethod(prepared, m, t);
+        const eval::MethodEvaluation ev = eval::evaluateMethod(
+            prepared, {.method = m, .threshold = t, .executor = &opts.executor()});
         sizeRow.push_back(fmtF(ev.filePct, 2));
         distRow.push_back(fmtF(ev.approxDistanceUs, 1));
       }

@@ -5,10 +5,12 @@
 // reducer would do per segment.
 //
 // The custom main() additionally runs a rank-scaling study (sweep3d_32p,
-// 32 ranks, every method, serial vs hardware-concurrency sharding) on plain
-// invocations or with --rank-scaling, printing one machine-readable JSON
-// line per configuration to stdout before the google-benchmark output, so
-// successive PRs can append to a perf trajectory:
+// 32 ranks, every method: serial, per-call-pool sharding, and sharding
+// through one shared PooledExecutor — the pooled column shows what pool
+// reuse buys over paying spawn/join per call) on plain invocations or with
+// --rank-scaling, printing one machine-readable JSON line per configuration
+// to stdout before the google-benchmark output, so successive PRs can
+// append to a perf trajectory:
 //   {"bench":"rank_scaling","workload":"sweep3d_32p","method":"relDiff",...}
 #include <benchmark/benchmark.h>
 
@@ -18,9 +20,11 @@
 
 #include "core/methods.hpp"
 #include "core/reducer.hpp"
+#include "core/reduction_config.hpp"
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
+#include "util/executor.hpp"
 #include "util/thread_pool.hpp"
 #include "wavelet/wavelet.hpp"
 
@@ -66,10 +70,10 @@ const WideFixture& wide() {
 
 void BM_Reduce(benchmark::State& state, core::Method method) {
   const Fixture& f = fix();
-  const double threshold = core::defaultThreshold(method);
+  const core::ReductionConfig config = core::ReductionConfig::defaults(method);
   std::size_t segments = 0;
   for (auto _ : state) {
-    auto policy = core::makePolicy(method, threshold);
+    auto policy = config.makePolicy();
     const core::ReductionResult res =
         core::reduceTrace(f.segmented, f.trace.names(), *policy);
     benchmark::DoNotOptimize(res.stats.matches);
@@ -78,16 +82,33 @@ void BM_Reduce(benchmark::State& state, core::Method method) {
   state.SetItemsProcessed(static_cast<std::int64_t>(segments));
 }
 
-/// Rank-sharded reduction over the 32-rank fixture; range(0) = threads.
+/// Rank-sharded reduction over the 32-rank fixture, one pool per call
+/// (the compatibility cost model); range(0) = threads.
 void BM_ReduceParallel(benchmark::State& state, core::Method method) {
   const WideFixture& f = wide();
-  const double threshold = core::defaultThreshold(method);
-  core::ReduceOptions opts;
-  opts.numThreads = static_cast<int>(state.range(0));
+  core::ReductionConfig config = core::ReductionConfig::defaults(method);
+  config.numThreads = static_cast<int>(state.range(0));
   std::size_t segments = 0;
   for (auto _ : state) {
     const core::ReductionResult res =
-        core::reduceTrace(f.segmented, f.trace.names(), method, threshold, opts);
+        core::reduceTrace(f.segmented, f.trace.names(), config);
+    benchmark::DoNotOptimize(res.stats.matches);
+    segments += res.stats.totalSegments;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(segments));
+}
+
+/// Same sharding through one PooledExecutor reused across iterations — the
+/// amortized path sweeps should use; range(0) = threads.
+void BM_ReducePooled(benchmark::State& state, core::Method method) {
+  const WideFixture& f = wide();
+  util::PooledExecutor pool(static_cast<int>(state.range(0)));
+  const core::ReductionConfig config =
+      core::ReductionConfig::defaults(method).withExecutor(pool);
+  std::size_t segments = 0;
+  for (auto _ : state) {
+    const core::ReductionResult res =
+        core::reduceTrace(f.segmented, f.trace.names(), config);
     benchmark::DoNotOptimize(res.stats.matches);
     segments += res.stats.totalSegments;
   }
@@ -123,16 +144,14 @@ void BM_WaveletTransform(benchmark::State& state) {
                           state.range(0));
 }
 
-/// Wall-clock of one parallel reduction, best of `reps`.
-double reduceMillis(const WideFixture& f, core::Method method, int threads, int reps) {
-  const double threshold = core::defaultThreshold(method);
-  core::ReduceOptions opts;
-  opts.numThreads = threads;
+/// Wall-clock of one reduction under `config`, best of `reps`.
+double reduceMillis(const WideFixture& f, const core::ReductionConfig& config,
+                    int reps) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     const core::ReductionResult res =
-        core::reduceTrace(f.segmented, f.trace.names(), method, threshold, opts);
+        core::reduceTrace(f.segmented, f.trace.names(), config);
     const auto t1 = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(res.stats.matches);
     const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -141,8 +160,12 @@ double reduceMillis(const WideFixture& f, core::Method method, int threads, int 
   return best;
 }
 
-/// The rank-scaling study: serial vs hardware-concurrency sharding for every
-/// method, one JSON line per method. The perf trajectory future PRs extend.
+/// The rank-scaling study: serial vs per-call-pool vs shared-pool sharding
+/// for every method, one JSON line per method. ms_parallel pays ThreadPool
+/// spawn/join inside every call; ms_pooled reuses one PooledExecutor across
+/// all calls, so pool_amortization = ms_parallel / ms_pooled is the worker-
+/// churn overhead the executor redesign removes. The perf trajectory future
+/// PRs extend.
 void runRankScalingStudy() {
   const WideFixture& f = wide();
   // Report the thread count the driver actually uses (clamped to the rank
@@ -152,15 +175,22 @@ void runRankScalingStudy() {
   std::printf("{\"bench\":\"rank_scaling\",\"workload\":\"sweep3d_32p\","
               "\"ranks\":%zu,\"segments\":%zu,\"hw_threads\":%d}\n",
               f.segmented.ranks.size(), f.segmented.totalSegments(), hw);
+  util::PooledExecutor pool(hw);  // shared by every ms_pooled measurement
   for (core::Method m : core::allMethods()) {
-    const double t1 = reduceMillis(f, m, 1, reps);
-    const double tn = reduceMillis(f, m, hw, reps);
+    core::ReductionConfig serialCfg = core::ReductionConfig::defaults(m);
+    core::ReductionConfig perCallCfg = serialCfg;
+    perCallCfg.numThreads = hw;
+    const double t1 = reduceMillis(f, serialCfg, reps);
+    const double tn = reduceMillis(f, perCallCfg, reps);
+    const double tp = reduceMillis(f, serialCfg.withExecutor(pool), reps);
     std::printf("{\"bench\":\"rank_scaling\",\"workload\":\"sweep3d_32p\","
                 "\"method\":\"%s\",\"threshold\":%g,\"threads_serial\":1,"
                 "\"ms_serial\":%.3f,\"threads_parallel\":%d,\"ms_parallel\":%.3f,"
-                "\"speedup\":%.3f}\n",
+                "\"speedup\":%.3f,\"ms_pooled\":%.3f,\"speedup_pooled\":%.3f,"
+                "\"pool_amortization\":%.3f}\n",
                 core::methodName(m), core::defaultThreshold(m), t1, hw, tn,
-                tn > 0 ? t1 / tn : 0.0);
+                tn > 0 ? t1 / tn : 0.0, tp, tp > 0 ? t1 / tp : 0.0,
+                tp > 0 ? tn / tp : 0.0);
   }
   std::fflush(stdout);
 }
@@ -180,6 +210,10 @@ BENCHMARK_CAPTURE(BM_ReduceParallel, avgWave, tracered::core::Method::kAvgWave)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK_CAPTURE(BM_ReduceParallel, Euclidean, tracered::core::Method::kEuclidean)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_ReducePooled, avgWave, tracered::core::Method::kAvgWave)
+    ->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_ReducePooled, Euclidean, tracered::core::Method::kEuclidean)
+    ->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_Segment);
 BENCHMARK(BM_SerializeFull);
 BENCHMARK(BM_WaveletTransform)->Arg(8)->Arg(64)->Arg(512);

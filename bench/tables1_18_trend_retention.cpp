@@ -52,11 +52,13 @@ int main(int argc, char** argv) {
           row.push_back("-");
           continue;
         }
-        const eval::MethodEvaluation ev =
-            eval::evaluateMethod(prepared, m, thresholds[i]);
+        const eval::MethodEvaluation ev = eval::evaluateMethod(
+            prepared,
+            {.method = m, .threshold = thresholds[i], .executor = &opts.executor()});
         row.push_back(shortVerdict(ev.trends.verdict));
       }
-      const eval::MethodEvaluation def = eval::evaluateMethodDefault(prepared, m);
+      const eval::MethodEvaluation def =
+          eval::evaluateMethodDefault(prepared, m, &opts.executor());
       row.push_back(shortVerdict(def.trends.verdict));
       if (def.trends.verdict != analysis::Verdict::kLost) ++correctAtDefault[m];
       t.row(std::move(row));

@@ -2,10 +2,16 @@
 // command line:
 //
 //   ./compare_methods --workload dyn_load_balance --scale 0.5
+//   ./compare_methods --method avgwave@0.4        # user-typed, case-insensitive
 //
-// Prints all four criteria for all nine methods at their paper-default
-// thresholds, plus the full-vs-reduced diagnosis charts.
+// Prints all four criteria for the selected methods (default: all nine at
+// their paper-default thresholds), plus the full-vs-reduced diagnosis
+// charts. The whole sweep shares one PooledExecutor, so worker threads are
+// spawned once, not per method.
 #include <cstdio>
+#include <vector>
+
+#include "tracered.hpp"
 
 #include "analysis/render.hpp"
 #include "eval/evaluation.hpp"
@@ -18,6 +24,7 @@ using namespace tracered;
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::string workload = args.get("workload", "dyn_load_balance");
+  const std::string methodSpec = args.get("method", "");
   eval::WorkloadOptions opts;
   opts.scale = args.getDouble("scale", 0.5);
   opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
@@ -30,6 +37,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The sweep configs: all nine methods at paper defaults, or the one the
+  // user typed ("avgwave", "absDiff@1e4", ... — case-insensitive, parsed by
+  // ReductionConfig::fromName, which explains itself on bad input).
+  std::vector<core::ReductionConfig> sweep;
+  if (methodSpec.empty()) {
+    for (core::Method m : core::allMethods())
+      sweep.push_back(core::ReductionConfig::defaults(m));
+  } else {
+    try {
+      sweep.push_back(core::ReductionConfig::fromName(methodSpec));
+    } catch (const std::invalid_argument& e) {
+      std::printf("%s\n", e.what());
+      return 1;
+    }
+  }
+
   std::printf("workload %s (scale %.2f)\n", workload.c_str(), opts.scale);
   const eval::PreparedTrace prepared = eval::prepare(eval::runWorkload(workload, opts));
   std::printf("full file %s, %zu segments\n\n", fmtBytes(prepared.fullBytes).c_str(),
@@ -37,13 +60,15 @@ int main(int argc, char** argv) {
   std::printf("--- full-trace diagnosis ---\n%s\n",
               analysis::renderCube(prepared.fullCube, prepared.trace.names(), 8).c_str());
 
+  util::PooledExecutor pool;  // shared across the whole sweep
   TextTable t;
-  t.header({"method", "thr", "file %", "match deg", "p90 err (us)", "trends", "why"});
-  for (core::Method m : core::allMethods()) {
-    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
-    t.row({core::methodName(m), fmtF(ev.threshold, 1), fmtF(ev.filePct, 2),
-           fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
-           analysis::verdictName(ev.trends.verdict), ev.trends.reason});
+  t.header({"config", "file %", "match deg", "p90 err (us)", "trends", "why"});
+  for (const core::ReductionConfig& cfg : sweep) {
+    const eval::MethodEvaluation ev =
+        eval::evaluateMethod(prepared, cfg.withExecutor(pool));
+    t.row({cfg.toString(), fmtF(ev.filePct, 2), fmtF(ev.degreeOfMatching, 3),
+           fmtF(ev.approxDistanceUs, 1), analysis::verdictName(ev.trends.verdict),
+           ev.trends.reason});
   }
   std::printf("%s", t.str().c_str());
   return 0;

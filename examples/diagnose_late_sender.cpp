@@ -8,6 +8,7 @@
 
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 using namespace tracered;
@@ -21,11 +22,13 @@ int main() {
   std::printf("late_sender: %zu segments, full file %s\n\n",
               prepared.segmented.totalSegments(), fmtBytes(prepared.fullBytes).c_str());
 
+  util::PooledExecutor pool;  // one worker pool for the whole threshold sweep
   for (core::Method m : {core::Method::kRelDiff, core::Method::kAvgWave}) {
     TextTable t;
     t.header({"threshold", "file %", "match deg", "p90 err (us)", "trends"});
     for (double thr : core::studyThresholds(m)) {
-      const eval::MethodEvaluation ev = eval::evaluateMethod(prepared, m, thr);
+      const eval::MethodEvaluation ev =
+          eval::evaluateMethod(prepared, {.method = m, .threshold = thr, .executor = &pool});
       t.row({fmtF(thr, 1), fmtF(ev.filePct, 1), fmtF(ev.degreeOfMatching, 3),
              fmtF(ev.approxDistanceUs, 1),
              analysis::verdictName(ev.trends.verdict)});

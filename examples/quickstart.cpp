@@ -7,11 +7,12 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include "tracered.hpp"
+
 #include "analysis/render.hpp"
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
 #include "util/table.hpp"
-#include "util/thread_pool.hpp"
 
 using namespace tracered;
 
@@ -33,14 +34,13 @@ int main() {
               analysis::renderCube(prepared.fullCube, prepared.trace.names(), 6).c_str());
 
   // 3. Reduce with avgWave at the paper's default threshold and evaluate.
-  //    Reduction is sharded across all hardware threads (numThreads = 0);
-  //    the result is bit-identical to a serial run for any thread count.
-  core::ReduceOptions par;
-  par.numThreads = 0;
-  std::printf("reducing with %zu worker thread(s)\n\n",
-              util::resolveThreads(par.numThreads, prepared.segmented.ranks.size()));
+  //    The PooledExecutor shards ranks across all hardware threads and its
+  //    workers are reused by every reduction that passes it; the result is
+  //    bit-identical to a serial run for any executor.
+  util::PooledExecutor pool;
+  std::printf("reducing with up to %zu worker thread(s)\n\n", pool.concurrency());
   const eval::MethodEvaluation ev =
-      eval::evaluateMethodDefault(prepared, core::Method::kAvgWave, par);
+      eval::evaluateMethodDefault(prepared, core::Method::kAvgWave, &pool);
 
   TextTable t;
   t.header({"criterion", "value"});

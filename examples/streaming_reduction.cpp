@@ -1,18 +1,18 @@
-// Example: online (during-collection) trace reduction.
+// Example: online (during-collection) trace reduction via ReductionSession.
 //
 // The paper's motivating scenario is that full traces are too large to ever
-// materialize; this example plays a simulated run's records through the
-// streaming reducer one at a time — the way a measurement layer would — and
-// reports the memory the tool retains versus the bytes a full trace file
-// would have needed, plus proof that the result equals offline reduction.
+// materialize; this example plays a simulated run's records through a
+// streaming ReductionSession one at a time — the way a measurement layer
+// would — and reports the memory the tool retains versus the bytes a full
+// trace file would have needed, plus proof that the result equals offline
+// reduction through the same facade. One PooledExecutor is shared by every
+// finish/reduce call, so the workers are spawned once for the whole example.
 #include <algorithm>
 #include <cstdio>
 
-#include "core/online_reducer.hpp"
-#include "core/reducer.hpp"
+#include "tracered.hpp"
+
 #include "eval/workloads.hpp"
-#include "trace/segmenter.hpp"
-#include "trace/trace_io.hpp"
 #include "util/table.hpp"
 
 using namespace tracered;
@@ -24,17 +24,24 @@ int main() {
   std::printf("simulated NtoN_32: %d ranks, %zu records\n", trace.numRanks(),
               trace.totalRecords());
 
-  // Stream every record through the online reducer. Feed rank-major (a real
-  // tool reduces each rank locally and in parallel; order across ranks does
-  // not matter).
-  core::OnlineReducer online(trace.names(), core::Method::kAvgWave, 0.2);
+  // One executor for the whole example: its thread pool starts lazily and is
+  // reused by every session below (the thread count never changes any
+  // result, only the wall clock).
+  util::PooledExecutor pool;
+  const core::ReductionConfig config =
+      core::ReductionConfig{core::Method::kAvgWave, 0.2}.withExecutor(pool);
+
+  // Stream every record through a session. Feed rank-major (a real tool
+  // reduces each rank locally and in parallel; order across ranks does not
+  // matter).
+  core::ReductionSession live(trace.names(), config);
   for (Rank r = 0; r < trace.numRanks(); ++r)
-    for (const RawRecord& rec : trace.rank(r).records) online.feed(r, rec);
+    for (const RawRecord& rec : trace.rank(r).records) live.feed(r, rec);
 
   // Retained-bytes curve via a dedicated rank-0 reducer: checkpoint the
   // memory an online tool would be holding as the "run" progresses.
   std::vector<std::pair<std::size_t, std::size_t>> checkpoints;  // (records, bytes)
-  auto policy = core::makePolicy(core::Method::kAvgWave, 0.2);
+  auto policy = config.makePolicy();
   core::OnlineRankReducer r0(0, trace.names(), *policy);
   const std::size_t step = std::max<std::size_t>(1, trace.rank(0).records.size() / 8);
   std::size_t fed = 0;
@@ -49,11 +56,13 @@ int main() {
     t.row({std::to_string(records), fmtBytes(bytes)});
   std::printf("\n%s\n", t.str().c_str());
 
-  // Finish all ranks, sharded across every hardware thread (the thread count
-  // never changes the result, only the wall clock).
-  core::ReduceOptions par;
-  par.numThreads = 0;
-  const core::ReductionResult streamed = online.finish(par);
+  // Finish the stream, watching per-rank completion through the session's
+  // progress hook (the rank finishes run on the shared pool's workers).
+  live.onProgress([](std::size_t done, std::size_t total) {
+    if (done == total || done % 8 == 0)
+      std::printf("  ... %zu/%zu ranks reduced\n", done, total);
+  });
+  const core::ReductionResult streamed = live.finish();
   const std::size_t fullBytes = fullTraceSize(trace);
   const std::size_t reducedBytes = reducedTraceSize(streamed.reduced);
   std::printf("full trace file:    %s\n", fmtBytes(fullBytes).c_str());
@@ -61,18 +70,19 @@ int main() {
               fmtBytes(reducedBytes).c_str(), 100.0 * reducedBytes / fullBytes,
               streamed.stats.degreeOfMatching());
 
-  // Sanity: bit-identical to the offline pipeline, serial and rank-sharded
-  // alike (all three drive the same RankReductionEngine). Compare content,
-  // not just sizes.
+  // Sanity: bit-identical to the offline pipeline through the SAME facade —
+  // serial, and sharded through the shared pool. Compare content, not just
+  // sizes.
   const SegmentedTrace segmented = segmentTrace(trace);
-  auto offPolicy = core::makePolicy(core::Method::kAvgWave, 0.2);
+  auto offPolicy = config.makePolicy();
   const core::ReductionResult offline =
       core::reduceTrace(segmented, trace.names(), *offPolicy);
-  const core::ReductionResult offlinePar =
-      core::reduceTrace(segmented, trace.names(), core::Method::kAvgWave, 0.2, par);
+  core::ReductionSession offlineSession(trace.names(), config);
+  const core::ReductionResult offlinePooled = offlineSession.reduce(segmented);
   std::printf("offline equivalence: %s\n",
               offline.reduced.ranks == streamed.reduced.ranks ? "exact" : "MISMATCH");
-  std::printf("parallel offline equivalence: %s\n",
-              offlinePar.reduced.ranks == streamed.reduced.ranks ? "exact" : "MISMATCH");
+  std::printf("offline session (pooled) equivalence: %s\n",
+              offlinePooled.reduced.ranks == streamed.reduced.ranks ? "exact"
+                                                                    : "MISMATCH");
   return 0;
 }

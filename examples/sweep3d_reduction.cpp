@@ -5,6 +5,7 @@
 
 #include "eval/evaluation.hpp"
 #include "sweep3d/sweep3d.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 using namespace tracered;
@@ -21,10 +22,11 @@ int main(int argc, char** argv) {
               prepared.segmented.totalSegments(), prepared.segmented.totalEvents(),
               fmtBytes(prepared.fullBytes).c_str());
 
+  util::PooledExecutor pool;  // shared by all nine reductions
   TextTable t;
   t.header({"method", "thr", "file %", "match deg", "p90 err (us)", "stored", "trends"});
   for (core::Method m : core::allMethods()) {
-    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m);
+    const eval::MethodEvaluation ev = eval::evaluateMethodDefault(prepared, m, &pool);
     t.row({core::methodName(m), fmtF(ev.threshold, 1), fmtF(ev.filePct, 2),
            fmtF(ev.degreeOfMatching, 3), fmtF(ev.approxDistanceUs, 1),
            std::to_string(ev.storedSegments),

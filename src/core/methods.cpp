@@ -1,5 +1,6 @@
 #include "core/methods.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace tracered::core {
@@ -37,10 +38,29 @@ const char* methodName(Method m) {
   return "unknown";
 }
 
+namespace {
+
+bool equalsIgnoreCase(const std::string& a, const char* b) {
+  std::size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return i == a.size() && b[i] == '\0';
+}
+
+}  // namespace
+
 Method methodByName(const std::string& name) {
   for (Method m : allMethods())
-    if (name == methodName(m)) return m;
-  throw std::invalid_argument("methods: unknown method '" + name + "'");
+    if (equalsIgnoreCase(name, methodName(m))) return m;
+  std::string valid;
+  for (Method m : allMethods()) {
+    if (!valid.empty()) valid += ", ";
+    valid += methodName(m);
+  }
+  throw std::invalid_argument("methods: unknown method '" + name +
+                              "'; valid methods: " + valid);
 }
 
 double defaultThreshold(Method m) {

@@ -37,7 +37,9 @@ const std::vector<Method>& thresholdedMethods();
 /// Display name ("relDiff", "Manhattan", ...).
 const char* methodName(Method m);
 
-/// Method by name; throws std::invalid_argument for unknown names.
+/// Method by name, case-insensitively ("manhattan" == "Manhattan"), so
+/// user-typed CLI input can pass straight through. Throws
+/// std::invalid_argument listing the nine valid names for unknown input.
 Method methodByName(const std::string& name);
 
 /// The paper's chosen best threshold for the comparative study

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "core/methods.hpp"
-#include "util/thread_pool.hpp"
 
 namespace tracered::core {
 
@@ -83,8 +82,8 @@ RankReduced OnlineRankReducer::finish() {
   return engine_.finish();
 }
 
-OnlineReducer::OnlineReducer(const StringTable& names, Method method, double threshold)
-    : names_(names), method_(method), threshold_(threshold) {}
+OnlineReducer::OnlineReducer(const StringTable& names, const ReductionConfig& config)
+    : names_(names), config_(config) {}
 
 std::map<Rank, OnlineReducer::PerRank>::iterator OnlineReducer::ensure(Rank rank) {
   if (finished_) throw std::logic_error("online reducer: feed/ensureRank after finish");
@@ -92,7 +91,7 @@ std::map<Rank, OnlineReducer::PerRank>::iterator OnlineReducer::ensure(Rank rank
   auto it = ranks_.lower_bound(rank);
   if (it == ranks_.end() || it->first != rank) {
     PerRank pr;
-    pr.policy = makePolicy(method_, threshold_);
+    pr.policy = config_.makePolicy();
     pr.reducer = std::make_unique<OnlineRankReducer>(rank, names_, *pr.policy);
     it = ranks_.emplace_hint(it, rank, std::move(pr));
   }
@@ -102,20 +101,21 @@ std::map<Rank, OnlineReducer::PerRank>::iterator OnlineReducer::ensure(Rank rank
 void OnlineReducer::ensureRank(Rank rank) { ensure(rank); }
 
 void OnlineReducer::feed(Rank rank, const RawRecord& record) {
-  if (lastReducer_ == nullptr || rank != lastRank_) {
+  if (lastReducer_ == nullptr || lastRank_ != rank) {
     lastReducer_ = ensure(rank)->second.reducer.get();
     lastRank_ = rank;
   }
   lastReducer_->feed(record);
 }
 
-ReductionResult OnlineReducer::finish(const ReduceOptions& options) {
+ReductionResult OnlineReducer::finish(const ProgressFn& progress) {
   if (finished_) throw std::logic_error("online reducer: finish called twice");
   finished_ = true;
   lastReducer_ = nullptr;  // route post-finish feeds into ensure()'s guard
+  lastRank_.reset();
 
   const std::size_t numRanks = ranks_.size();
-  const std::size_t threads = util::resolveThreads(options.numThreads, numRanks);
+  ResolvedExecutor exec(config_, numRanks);  // same policy rules as offline
 
   // The map iterates in rank-id order; finishing each slot is independent
   // (per-rank policy and store), so the finishes can run on any worker while
@@ -125,9 +125,9 @@ ReductionResult OnlineReducer::finish(const ReduceOptions& options) {
   for (auto& [rank, pr] : ranks_) reducers.push_back(pr.reducer.get());
 
   std::vector<RankReduced> reducedByIndex(numRanks);
-  util::parallelShard(threads, numRanks, [&](std::size_t, std::size_t i) {
-    reducedByIndex[i] = reducers[i]->finish();
-  });
+  exec.shard(
+      [&](std::size_t, std::size_t i) { reducedByIndex[i] = reducers[i]->finish(); },
+      progress);
 
   std::vector<ReductionStats> statsByIndex;
   statsByIndex.reserve(numRanks);

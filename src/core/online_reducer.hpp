@@ -76,8 +76,11 @@ class OnlineRankReducer {
 /// reducers, and finish() emits results ordered by rank id.
 class OnlineReducer {
  public:
-  /// `makePolicy` is invoked once per fed rank.
-  OnlineReducer(const StringTable& names, Method method, double threshold);
+  /// Reduces with `config`'s method/threshold; its execution policy governs
+  /// finish(). One policy instance is created per fed rank.
+  OnlineReducer(const StringTable& names, const ReductionConfig& config);
+
+  const ReductionConfig& config() const { return config_; }
 
   /// Pre-registers `rank` so it appears in finish() even if it never feeds
   /// a record (mirrors the offline reducer's empty entry for idle ranks).
@@ -86,10 +89,11 @@ class OnlineReducer {
   /// Feeds a record for `rank`, creating that rank's reducer on first use.
   void feed(Rank rank, const RawRecord& record);
 
-  /// Finishes all fed ranks (sharded across `options.numThreads` workers;
-  /// 1 = serial, 0 = hardware concurrency) and assembles the reduced trace
-  /// in rank order. Deterministic for any thread count.
-  ReductionResult finish(const ReduceOptions& options = {});
+  /// Finishes all fed ranks (sharded per the config's execution policy) and
+  /// assembles the reduced trace in rank order. Deterministic for any
+  /// executor or thread count. `progress` observes per-rank completion as in
+  /// the offline driver.
+  ReductionResult finish(const ProgressFn& progress = {});
 
  private:
   struct PerRank {
@@ -101,14 +105,15 @@ class OnlineReducer {
   std::map<Rank, PerRank>::iterator ensure(Rank rank);
 
   const StringTable& names_;
-  Method method_;
-  double threshold_;
+  ReductionConfig config_;
   std::map<Rank, PerRank> ranks_;  ///< Keyed by rank id; sparse-safe, ordered.
 
   // Feeds are rank-major in practice, so cache the last rank's reducer and
   // only walk the map on a rank change (keeps feed() O(1) per record).
-  // Node-based map + unique_ptr make the cached pointer stable.
-  Rank lastRank_ = -1;
+  // Node-based map + unique_ptr make the cached pointer stable; disengaged
+  // means "no cached rank", so every valid Rank value (including 0 and
+  // INT_MAX) caches correctly.
+  std::optional<Rank> lastRank_;
   OnlineRankReducer* lastReducer_ = nullptr;
   bool finished_ = false;
 };

@@ -1,10 +1,14 @@
 #include "core/reducer.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "util/executor.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tracered::core {
@@ -21,6 +25,40 @@ std::pair<RankReduced, ReductionStats> reduceRank(const RankSegments& rank,
 }
 
 }  // namespace
+
+ResolvedExecutor::ResolvedExecutor(const ReductionConfig& config,
+                                   std::size_t numItems)
+    : numItems_(numItems), chosen_(config.executor) {
+  if (chosen_ == nullptr) {
+    const std::size_t threads = util::resolveThreads(config.numThreads, numItems);
+    if (threads <= 1) {
+      chosen_ = &serial_;
+    } else {
+      perCall_.emplace(static_cast<int>(threads));
+      chosen_ = &*perCall_;
+    }
+  }
+}
+
+std::size_t ResolvedExecutor::workers() const {
+  return numItems_ == 0 ? 1 : std::min(chosen_->concurrency(), numItems_);
+}
+
+void ResolvedExecutor::shard(const std::function<void(std::size_t, std::size_t)>& fn,
+                             const ProgressFn& progress) {
+  if (!progress) {
+    chosen_->shard(numItems_, fn);
+    return;
+  }
+  std::size_t done = 0;
+  std::mutex progressMutex;  // count-and-notify atomically, so calls are
+                             // serialized and strictly increasing
+  chosen_->shard(numItems_, [&](std::size_t worker, std::size_t i) {
+    fn(worker, i);
+    std::lock_guard<std::mutex> lock(progressMutex);
+    progress(++done, numItems_);
+  });
+}
 
 ReductionResult assembleReduction(const StringTable& names,
                                   std::vector<RankReduced>&& ranks,
@@ -47,22 +85,15 @@ ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& 
 }
 
 ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
-                            Method method, double threshold,
-                            const ReduceOptions& options) {
+                            const ReductionConfig& config, const ProgressFn& progress) {
   const std::size_t numRanks = segmented.ranks.size();
-  const std::size_t threads = util::resolveThreads(options.numThreads, numRanks);
+  ResolvedExecutor exec(config, numRanks);
 
-  if (threads <= 1) {
-    const auto policy = makePolicy(method, threshold);
-    return reduceTrace(segmented, names, *policy);
-  }
-
-  // Rank-sharded parallel driver. Ranks are claimed dynamically (cheap ranks
-  // finish early; workers move on), but each result is written to its rank's
-  // slot, so assembly below is in rank order and the output is bit-identical
-  // to serial regardless of scheduling. One policy instance per worker:
-  // policies are stateful per rank and reset via beginRank(), exactly as the
-  // serial driver reuses its one policy across ranks.
+  // One policy instance per worker: policies are stateful per rank and reset
+  // via beginRank(), exactly as the serial driver reuses its one policy
+  // across ranks. Each result lands in its rank's slot, so assembly below is
+  // in rank order and the output is bit-identical to serial regardless of
+  // scheduling.
   //
   // Determinism constraint: this depends on beginRank() FULLY resetting the
   // policy — a policy whose behavior depends on how many ranks it has seen
@@ -72,16 +103,19 @@ ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& 
   // (or switch such a policy to keying off Segment::rank) before adding one
   // to the Method enum.
   std::vector<std::unique_ptr<SimilarityPolicy>> policies;
-  policies.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) policies.push_back(makePolicy(method, threshold));
+  policies.reserve(exec.workers());
+  for (std::size_t w = 0; w < exec.workers(); ++w)
+    policies.push_back(config.makePolicy());
 
   std::vector<RankReduced> reducedByRank(numRanks);
   std::vector<ReductionStats> statsByRank(numRanks);
-  util::parallelShard(threads, numRanks, [&](std::size_t worker, std::size_t i) {
-    auto [reduced, stats] = reduceRank(segmented.ranks[i], *policies[worker]);
-    reducedByRank[i] = std::move(reduced);
-    statsByRank[i] = stats;
-  });
+  exec.shard(
+      [&](std::size_t worker, std::size_t i) {
+        auto [reduced, stats] = reduceRank(segmented.ranks[i], *policies[worker]);
+        reducedByRank[i] = std::move(reduced);
+        statsByRank[i] = stats;
+      },
+      progress);
 
   return assembleReduction(names, std::move(reducedByRank), statsByRank);
 }

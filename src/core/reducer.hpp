@@ -7,36 +7,70 @@
 // the segment as a new representative and record its own id.
 //
 // The per-rank matching loop itself lives in RankReductionEngine; this
-// header provides the whole-trace drivers: the serial `reduceTrace` (one
-// caller-owned policy reused across ranks) and the rank-sharded parallel
-// overload (one policy instance per worker, results assembled in rank order
-// so the output is bit-identical to serial for any thread count).
+// header provides the whole-trace drivers: the policy-level serial
+// `reduceTrace` (one caller-owned policy reused across ranks — the primitive
+// custom policies plug into) and the config-driven driver, which shards
+// ranks according to the ReductionConfig's execution policy (serial, a
+// per-call pool via numThreads, or a caller-owned Executor that amortizes
+// worker spawn/join across calls). Results are assembled in rank order, so
+// every execution policy is bit-identical to serial.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
 
 #include "core/methods.hpp"
 #include "core/rank_reduction_engine.hpp"
+#include "core/reduction_config.hpp"
 #include "core/similarity.hpp"
 #include "trace/reduced_trace.hpp"
 #include "trace/segment.hpp"
 #include "trace/string_table.hpp"
+#include "util/executor.hpp"
 
 namespace tracered::core {
-
-/// Options for the parallel reduction driver.
-struct ReduceOptions {
-  /// Worker threads to shard ranks across. 1 = serial (no pool); 0 or
-  /// negative = std::thread::hardware_concurrency(). The thread count never
-  /// affects the result, only the wall clock.
-  int numThreads = 1;
-};
 
 /// Result of reducing one whole trace. `stats` is the merge of the per-rank
 /// stats.
 struct ReductionResult {
   ReducedTrace reduced;
   ReductionStats stats;
+};
+
+/// Observer for long reductions: called after each rank completes with
+/// (ranksCompleted, ranksTotal). Under a parallel execution policy the calls
+/// come from worker threads but are serialized (never concurrent), and
+/// ranksCompleted is strictly increasing; completion ORDER across ranks is
+/// scheduling-dependent even though the result never is.
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Resolves a ReductionConfig's execution policy for one driver call — the
+/// ONE place the policy rules live, so the offline and online drivers can
+/// never diverge: a caller-owned `config.executor` wins (amortized pool);
+/// otherwise `numThreads` selects serial inline (<= 1 after clamping to the
+/// item count) or a pool owned by this resolver, i.e. per call (the
+/// compatibility cost model).
+class ResolvedExecutor {
+ public:
+  ResolvedExecutor(const ReductionConfig& config, std::size_t numItems);
+
+  /// Workers shard() may use: min(executor concurrency, numItems), >= 1.
+  /// Size per-worker state (e.g. one SimilarityPolicy per worker) with this.
+  std::size_t workers() const;
+
+  /// Shards [0, numItems) through the resolved executor; if `progress` is
+  /// set, reports (itemsCompleted, numItems) after each item, serialized
+  /// and strictly increasing.
+  void shard(const std::function<void(std::size_t, std::size_t)>& fn,
+             const ProgressFn& progress = {});
+
+ private:
+  std::size_t numItems_;
+  util::SerialExecutor serial_;
+  std::optional<util::PooledExecutor> perCall_;
+  util::Executor* chosen_;
 };
 
 /// Assembles a whole-trace result from per-rank pieces (already in rank
@@ -51,11 +85,12 @@ ReductionResult assembleReduction(const StringTable& names,
 ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
                             SimilarityPolicy& policy);
 
-/// Reduces `segmented` sharding ranks across `options.numThreads` workers,
-/// instantiating one policy per worker via makePolicy(method, threshold).
-/// Deterministic: bit-identical to the serial overload for any thread count.
+/// Reduces `segmented` per `config`: the configured method/threshold,
+/// sharded across ranks by the configured execution policy (one policy
+/// instance per worker). Deterministic: bit-identical to the serial
+/// policy-level overload for any executor or thread count.
 ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
-                            Method method, double threshold,
-                            const ReduceOptions& options = {});
+                            const ReductionConfig& config,
+                            const ProgressFn& progress = {});
 
 }  // namespace tracered::core

@@ -1,0 +1,62 @@
+// The one value type describing a reduction run: which similarity method,
+// at what threshold, executed how. Every driver (offline reduceTrace, the
+// streaming OnlineReducer, eval::evaluateMethod, ReductionSession) takes a
+// ReductionConfig instead of re-plumbing its own (Method, double, options)
+// triple, and sweeps can serialize configs through fromName()/toString()
+// ("avgWave@0.2" style) for CLIs and logs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/methods.hpp"
+#include "core/similarity.hpp"
+
+namespace tracered::util {
+class Executor;
+}  // namespace tracered::util
+
+namespace tracered::core {
+
+/// Method + threshold + execution policy for one reduction. Aggregate:
+/// `{Method::kAvgWave, 0.2}` is a serial config; designated initializers
+/// select an executor (`{.method = m, .threshold = t, .executor = &pool}`).
+///
+/// Execution policy resolution (used identically by every driver):
+///   * `executor` non-null -> shard ranks through it (non-owning; the caller
+///     keeps it alive, typically one PooledExecutor per sweep so worker
+///     spawn/join is amortized across calls).
+///   * otherwise `numThreads` -> 1 = serial inline, 0 or negative = hardware
+///     concurrency, else that many workers — via the pool-per-call
+///     compatibility shim.
+/// The execution policy never affects the result, only the wall clock.
+struct ReductionConfig {
+  Method method = Method::kRelDiff;
+  double threshold = 0.8;  // defaultThreshold(kRelDiff)
+  int numThreads = 1;
+  util::Executor* executor = nullptr;
+
+  /// Config at the paper's default ("best") threshold for `m`.
+  static ReductionConfig defaults(Method m);
+
+  /// Parses "method" or "method@threshold" ("avgWave", "absDiff@1000",
+  /// case-insensitive method names). A bare method name gets its paper
+  /// default threshold; an explicit threshold must be a finite,
+  /// non-negative number. Throws std::invalid_argument naming the valid
+  /// methods on an unknown name, or describing the bad threshold.
+  static ReductionConfig fromName(const std::string& spec);
+
+  /// Round-trips through fromName() losslessly (shortest decimal form that
+  /// parses back to exactly this threshold): "method@threshold", or just
+  /// "method" for iter_avg (which has no threshold).
+  std::string toString() const;
+
+  /// Instantiates the similarity policy this config describes.
+  std::unique_ptr<SimilarityPolicy> makePolicy() const;
+
+  /// A copy of this config running through `exec` (sugar for sweeps that
+  /// share one executor across many configs).
+  ReductionConfig withExecutor(util::Executor& exec) const;
+};
+
+}  // namespace tracered::core

@@ -1,0 +1,46 @@
+#include "core/reduction_session.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace tracered::core {
+
+ReductionSession::ReductionSession(const StringTable& names,
+                                   const ReductionConfig& config)
+    : names_(names), config_(config) {}
+
+void ReductionSession::ensureRank(Rank rank) {
+  if (finished_)
+    throw std::logic_error("reduction session: ensureRank after the session finished");
+  if (!online_) online_.emplace(names_, config_);
+  online_->ensureRank(rank);
+}
+
+void ReductionSession::feed(Rank rank, const RawRecord& record) {
+  if (finished_)
+    throw std::logic_error("reduction session: feed after the session finished");
+  if (!online_) online_.emplace(names_, config_);
+  online_->feed(rank, record);
+}
+
+ReductionResult ReductionSession::finish() {
+  if (finished_)
+    throw std::logic_error("reduction session: finish after the session finished");
+  finished_ = true;
+  if (!online_) return assembleReduction(names_, {}, {});
+  return online_->finish(progress_);
+}
+
+ReductionResult ReductionSession::reduce(const SegmentedTrace& segmented) {
+  if (finished_)
+    throw std::logic_error("reduction session: reduce after the session finished");
+  if (online_)
+    throw std::logic_error(
+        "reduction session: reduce on a streaming session (records were fed or "
+        "ranks pre-registered via ensureRank; call finish() instead)");
+  finished_ = true;
+  return reduceTrace(segmented, names_, config_, progress_);
+}
+
+}  // namespace tracered::core

@@ -46,15 +46,15 @@ double approximationDistance(const SegmentedTrace& original,
   return percentile(std::move(diffs), p);
 }
 
-MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method method,
-                                double threshold, const core::ReduceOptions& options) {
+MethodEvaluation evaluateMethod(const PreparedTrace& prepared,
+                                const core::ReductionConfig& config) {
   MethodEvaluation out;
-  out.method = method;
-  out.threshold = threshold;
+  out.method = config.method;
+  out.threshold = config.threshold;
   out.fullBytes = prepared.fullBytes;
 
-  core::ReductionResult reduction = core::reduceTrace(
-      prepared.segmented, prepared.trace.names(), method, threshold, options);
+  core::ReductionResult reduction =
+      core::reduceTrace(prepared.segmented, prepared.trace.names(), config);
 
   out.reducedBytes = reducedTraceSize(reduction.reduced);
   out.filePct = 100.0 * static_cast<double>(out.reducedBytes) /
@@ -72,8 +72,10 @@ MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method meth
 }
 
 MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method,
-                                       const core::ReduceOptions& options) {
-  return evaluateMethod(prepared, method, core::defaultThreshold(method), options);
+                                       util::Executor* executor) {
+  core::ReductionConfig config = core::ReductionConfig::defaults(method);
+  config.executor = executor;
+  return evaluateMethod(prepared, config);
 }
 
 }  // namespace tracered::eval

@@ -21,9 +21,11 @@
 #include "core/methods.hpp"
 #include "core/reconstruct.hpp"
 #include "core/reducer.hpp"
+#include "core/reduction_config.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_io.hpp"
+#include "util/executor.hpp"
 
 namespace tracered::eval {
 
@@ -55,17 +57,18 @@ struct MethodEvaluation {
   analysis::SeverityCube reducedCube;
 };
 
-/// Runs reduce -> size -> reconstruct -> error -> diagnose for one method.
-/// `options.numThreads` shards the reduction across ranks (1 = serial,
-/// 0 = hardware concurrency); the result never depends on the thread count,
-/// so sweeps stay comparable across machines.
-MethodEvaluation evaluateMethod(const PreparedTrace& prepared, core::Method method,
-                                double threshold,
-                                const core::ReduceOptions& options = {});
+/// Runs reduce -> size -> reconstruct -> error -> diagnose for one config.
+/// The config's execution policy shards the reduction across ranks (pass a
+/// shared util::PooledExecutor to amortize worker spawn/join over a whole
+/// 9-method x 6-threshold sweep); the result never depends on it, so sweeps
+/// stay comparable across machines.
+MethodEvaluation evaluateMethod(const PreparedTrace& prepared,
+                                const core::ReductionConfig& config);
 
-/// evaluateMethod at the paper's default threshold.
+/// evaluateMethod at the paper's default threshold, optionally through a
+/// caller-owned executor.
 MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method,
-                                       const core::ReduceOptions& options = {});
+                                       util::Executor* executor = nullptr);
 
 /// The approximation-distance metric on its own: percentile (default p90) of
 /// absolute timestamp differences between two structurally identical

@@ -19,8 +19,14 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
   RankSegments out;
   out.rank = rankTrace.rank;
 
-  std::optional<Segment> current;          // open segment (absolute times)
-  std::optional<RawRecord> pendingEnter;   // open function invocation
+  std::optional<Segment> current;  // open segment (absolute times)
+  // Open function invocation. A value+flag pair instead of std::optional:
+  // GCC 12's -O2 inliner cannot prove the optional's payload is engaged at
+  // the read sites below and flags a -Wmaybe-uninitialized false positive,
+  // which the always-initialized value sidesteps (the CI Werror job builds
+  // Release).
+  RawRecord pendingEnter{};
+  bool hasPendingEnter = false;
   const NameId gapContext = names.find("<gap>");
 
   auto openGap = [&](TimeUs t) {
@@ -47,7 +53,7 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
   for (const RawRecord& rec : rankTrace.records) {
     switch (rec.kind) {
       case RecordKind::kSegBegin: {
-        if (pendingEnter) fail(rankTrace.rank, "segment begins inside an open event");
+        if (hasPendingEnter) fail(rankTrace.rank, "segment begins inside an open event");
         if (current) {
           if (current->context != gapContext || !opts.tolerateGaps)
             fail(rankTrace.rank, "nested segment begin for context '" +
@@ -62,7 +68,7 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
         break;
       }
       case RecordKind::kSegEnd: {
-        if (pendingEnter) fail(rankTrace.rank, "segment ends inside an open event");
+        if (hasPendingEnter) fail(rankTrace.rank, "segment ends inside an open event");
         if (!current || current->context != rec.name)
           fail(rankTrace.rank, "unmatched segment end for context '" +
                                    names.name(rec.name) + "'");
@@ -70,7 +76,7 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
         break;
       }
       case RecordKind::kEnter: {
-        if (pendingEnter)
+        if (hasPendingEnter)
           fail(rankTrace.rank, "nested function enter (flat event model expected)");
         if (!current) {
           if (!opts.tolerateGaps)
@@ -80,25 +86,26 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
           openGap(rec.time);
         }
         pendingEnter = rec;
+        hasPendingEnter = true;
         break;
       }
       case RecordKind::kExit: {
-        if (!pendingEnter || pendingEnter->name != rec.name)
+        if (!hasPendingEnter || pendingEnter.name != rec.name)
           fail(rankTrace.rank, "exit without matching enter: '" + names.name(rec.name) + "'");
         EventInterval ev;
         ev.name = rec.name;
-        ev.op = pendingEnter->op;
-        ev.msg = pendingEnter->msg;
-        ev.start = pendingEnter->time;  // absolute for now; rebased at close
+        ev.op = pendingEnter.op;
+        ev.msg = pendingEnter.msg;
+        ev.start = pendingEnter.time;  // absolute for now; rebased at close
         ev.end = rec.time;
         current->events.push_back(ev);
-        pendingEnter.reset();
+        hasPendingEnter = false;
         break;
       }
     }
   }
 
-  if (pendingEnter) fail(rankTrace.rank, "trace ends inside an open event");
+  if (hasPendingEnter) fail(rankTrace.rank, "trace ends inside an open event");
   if (current) {
     if (!opts.tolerateGaps) fail(rankTrace.rank, "trace ends inside an open segment");
     closeCurrent(current->events.empty() ? current->absStart

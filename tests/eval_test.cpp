@@ -98,15 +98,15 @@ TEST(Evaluate, StrictestReductionIsLossless) {
   // exact except for truly identical segments, so approximation distance is 0
   // and trends are retained exactly.
   const PreparedTrace p = prepare(runWorkload("late_sender", tiny()));
-  const MethodEvaluation ev = evaluateMethod(p, core::Method::kAbsDiff, 0.0);
+  const MethodEvaluation ev = evaluateMethod(p, {core::Method::kAbsDiff, 0.0});
   EXPECT_DOUBLE_EQ(ev.approxDistanceUs, 0.0);
   EXPECT_EQ(ev.trends.verdict, analysis::Verdict::kRetained);
 }
 
 TEST(Evaluate, PermissiveThresholdShrinksFilesMore) {
   const PreparedTrace p = prepare(runWorkload("imbalance_at_mpi_barrier", tiny()));
-  const MethodEvaluation strict = evaluateMethod(p, core::Method::kAbsDiff, 10.0);
-  const MethodEvaluation loose = evaluateMethod(p, core::Method::kAbsDiff, 1e6);
+  const MethodEvaluation strict = evaluateMethod(p, {core::Method::kAbsDiff, 10.0});
+  const MethodEvaluation loose = evaluateMethod(p, {core::Method::kAbsDiff, 1e6});
   EXPECT_LE(loose.reducedBytes, strict.reducedBytes);
   EXPECT_LE(loose.storedSegments, strict.storedSegments);
   EXPECT_GE(loose.degreeOfMatching, strict.degreeOfMatching);
@@ -124,8 +124,8 @@ TEST(Evaluate, IterAvgHasSmallestFiles) {
 
 TEST(Evaluate, DeterministicAcrossCalls) {
   const PreparedTrace p = prepare(runWorkload("late_sender", tiny()));
-  const MethodEvaluation a = evaluateMethod(p, core::Method::kEuclidean, 0.2);
-  const MethodEvaluation b = evaluateMethod(p, core::Method::kEuclidean, 0.2);
+  const MethodEvaluation a = evaluateMethod(p, {core::Method::kEuclidean, 0.2});
+  const MethodEvaluation b = evaluateMethod(p, {core::Method::kEuclidean, 0.2});
   EXPECT_EQ(a.reducedBytes, b.reducedBytes);
   EXPECT_DOUBLE_EQ(a.approxDistanceUs, b.approxDistanceUs);
   EXPECT_EQ(a.trends.verdict, b.trends.verdict);

@@ -156,7 +156,7 @@ TEST_P(RandomProgram, PipelineInvariantsHold) {
                          core::Method::kIterAvg}) {
     auto policy = core::makeDefaultPolicy(m);
     const core::ReductionResult off = core::reduceTrace(st, trace.names(), *policy);
-    core::OnlineReducer onl(trace.names(), m, core::defaultThreshold(m));
+    core::OnlineReducer onl(trace.names(), core::ReductionConfig::defaults(m));
     for (Rank r = 0; r < trace.numRanks(); ++r)
       for (const RawRecord& rec : trace.rank(r).records) onl.feed(r, rec);
     const core::ReductionResult on = onl.finish();

@@ -118,7 +118,9 @@ TEST(Integration, FileSizeRankingHasIterAvgFirst) {
   for (core::Method m : core::allMethods()) {
     const MethodEvaluation ev = evaluateMethodDefault(p, m);
     best = std::min(best, ev.reducedBytes);
-    if (m == core::Method::kIterAvg) EXPECT_EQ(ev.reducedBytes, best);
+    if (m == core::Method::kIterAvg) {
+      EXPECT_EQ(ev.reducedBytes, best);
+    }
   }
 }
 

@@ -22,7 +22,7 @@ ReductionResult offline(const Trace& trace, Method m, double thr) {
 }
 
 ReductionResult online(const Trace& trace, Method m, double thr) {
-  OnlineReducer red(trace.names(), m, thr);
+  OnlineReducer red(trace.names(), ReductionConfig{m, thr});
   for (Rank r = 0; r < trace.numRanks(); ++r)
     for (const RawRecord& rec : trace.rank(r).records) red.feed(r, rec);
   return red.finish();
@@ -144,7 +144,7 @@ TEST(OnlineReducer, ReconstructionFromStreamedReductionWorks) {
 
 TEST(OnlineReducer, NegativeRankRejected) {
   StringTable names;
-  OnlineReducer red(names, Method::kAbsDiff, 1.0);
+  OnlineReducer red(names, ReductionConfig{Method::kAbsDiff, 1.0});
   RawRecord rec;
   rec.kind = RecordKind::kSegBegin;
   rec.name = 0;

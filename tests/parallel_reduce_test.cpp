@@ -1,8 +1,8 @@
-// The equivalence matrix of the rank-sharded reduction driver: for every
+// The equivalence matrix of the config-driven reduction driver: for every
 // method at its default threshold, offline serial == offline parallel
-// (threads 1, 2, 8) == online, with bit-identical ReducedTraces and
-// identical merged ReductionStats. Plus sparse-rank indexing in the online
-// reducer and stats-merge algebra.
+// (numThreads 1, 2, 8 and a shared PooledExecutor) == online, with
+// bit-identical ReducedTraces and identical merged ReductionStats. Plus
+// sparse-rank indexing in the online reducer and stats-merge algebra.
 #include <gtest/gtest.h>
 
 #include "core/methods.hpp"
@@ -10,6 +10,7 @@
 #include "core/reducer.hpp"
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
+#include "util/executor.hpp"
 
 namespace tracered::core {
 namespace {
@@ -25,12 +26,11 @@ const Trace& matrixTrace() {
   return trace;
 }
 
-ReductionResult reduceOnline(const Trace& trace, Method m, double thr,
-                             const ReduceOptions& options = {}) {
-  OnlineReducer red(trace.names(), m, thr);
+ReductionResult reduceOnline(const Trace& trace, const ReductionConfig& config) {
+  OnlineReducer red(trace.names(), config);
   for (Rank r = 0; r < trace.numRanks(); ++r)
     for (const RawRecord& rec : trace.rank(r).records) red.feed(r, rec);
-  return red.finish(options);
+  return red.finish();
 }
 
 void expectIdentical(const ReductionResult& a, const ReductionResult& b,
@@ -47,39 +47,44 @@ TEST(ParallelReduce, EquivalenceMatrixAllMethods) {
   const SegmentedTrace segmented = segmentTrace(trace);
   ASSERT_GE(trace.numRanks(), 2);
 
+  util::PooledExecutor shared(4);  // one pool reused across the whole matrix
   for (Method m : allMethods()) {
-    const double thr = defaultThreshold(m);
+    const ReductionConfig config = ReductionConfig::defaults(m);
     SCOPED_TRACE(methodName(m));
 
-    auto policy = makePolicy(m, thr);
+    auto policy = config.makePolicy();
     const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
 
     for (int threads : {1, 2, 8}) {
-      ReduceOptions opts;
-      opts.numThreads = threads;
-      const ReductionResult parallel =
-          reduceTrace(segmented, trace.names(), m, thr, opts);
+      ReductionConfig cfg = config;
+      cfg.numThreads = threads;
+      const ReductionResult parallel = reduceTrace(segmented, trace.names(), cfg);
       expectIdentical(serial, parallel,
                       std::string("parallel threads=") + std::to_string(threads));
     }
 
-    const ReductionResult online = reduceOnline(trace, m, thr);
+    const ReductionResult pooled =
+        reduceTrace(segmented, trace.names(), config.withExecutor(shared));
+    expectIdentical(serial, pooled, "shared pooled executor");
+
+    const ReductionResult online = reduceOnline(trace, config);
     expectIdentical(serial, online, "online");
   }
 }
 
 TEST(ParallelReduce, OnlineParallelFinishMatchesSerialFinish) {
   const Trace& trace = matrixTrace();
+  const ReductionConfig serialCfg{Method::kAvgWave, 0.2};
+  const ReductionResult serialFinish = reduceOnline(trace, serialCfg);
   for (int threads : {2, 8}) {
-    ReduceOptions opts;
-    opts.numThreads = threads;
-    const ReductionResult serialFinish =
-        reduceOnline(trace, Method::kAvgWave, 0.2);
-    const ReductionResult parallelFinish =
-        reduceOnline(trace, Method::kAvgWave, 0.2, opts);
-    expectIdentical(serialFinish, parallelFinish,
+    ReductionConfig cfg = serialCfg;
+    cfg.numThreads = threads;
+    expectIdentical(serialFinish, reduceOnline(trace, cfg),
                     "online finish threads=" + std::to_string(threads));
   }
+  util::PooledExecutor pool(2);
+  expectIdentical(serialFinish, reduceOnline(trace, serialCfg.withExecutor(pool)),
+                  "online finish pooled executor");
 }
 
 TEST(ParallelReduce, AutoThreadCountWorks) {
@@ -88,11 +93,9 @@ TEST(ParallelReduce, AutoThreadCountWorks) {
   auto policy = makeDefaultPolicy(Method::kEuclidean);
   const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
 
-  ReduceOptions opts;
-  opts.numThreads = 0;  // hardware concurrency
-  const ReductionResult parallel = reduceTrace(
-      segmented, trace.names(), Method::kEuclidean,
-      defaultThreshold(Method::kEuclidean), opts);
+  ReductionConfig cfg = ReductionConfig::defaults(Method::kEuclidean);
+  cfg.numThreads = 0;  // hardware concurrency
+  const ReductionResult parallel = reduceTrace(segmented, trace.names(), cfg);
   expectIdentical(serial, parallel, "auto threads");
 }
 
@@ -102,11 +105,9 @@ TEST(ParallelReduce, MoreThreadsThanRanksWorks) {
   auto policy = makeDefaultPolicy(Method::kRelDiff);
   const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
 
-  ReduceOptions opts;
-  opts.numThreads = 64;
-  const ReductionResult parallel =
-      reduceTrace(segmented, trace.names(), Method::kRelDiff,
-                  defaultThreshold(Method::kRelDiff), opts);
+  ReductionConfig cfg = ReductionConfig::defaults(Method::kRelDiff);
+  cfg.numThreads = 64;
+  const ReductionResult parallel = reduceTrace(segmented, trace.names(), cfg);
   expectIdentical(serial, parallel, "threads > ranks");
 }
 
@@ -114,13 +115,32 @@ TEST(ParallelReduce, EmptyTraceParallelIsEmpty) {
   StringTable names;
   names.intern("main");
   SegmentedTrace segmented;
-  ReduceOptions opts;
-  opts.numThreads = 8;
-  const ReductionResult res =
-      reduceTrace(segmented, names, Method::kAvgWave, 0.2, opts);
+  ReductionConfig cfg{Method::kAvgWave, 0.2};
+  cfg.numThreads = 8;
+  const ReductionResult res = reduceTrace(segmented, names, cfg);
   EXPECT_TRUE(res.reduced.ranks.empty());
   EXPECT_EQ(res.stats.totalSegments, 0u);
   EXPECT_EQ(res.reduced.names.all(), names.all());
+}
+
+TEST(ParallelReduce, ProgressReportsEveryRankOnce) {
+  const Trace& trace = matrixTrace();
+  const SegmentedTrace segmented = segmentTrace(trace);
+  for (int threads : {1, 4}) {
+    ReductionConfig cfg{Method::kAbsDiff, 1e3};
+    cfg.numThreads = threads;
+    std::vector<std::pair<std::size_t, std::size_t>> calls;
+    reduceTrace(segmented, trace.names(), cfg,
+                [&](std::size_t done, std::size_t total) {
+                  calls.emplace_back(done, total);
+                });
+    ASSERT_EQ(calls.size(), segmented.ranks.size())
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      EXPECT_EQ(calls[i].first, i + 1);  // strictly increasing, no gaps
+      EXPECT_EQ(calls[i].second, segmented.ranks.size());
+    }
+  }
 }
 
 TEST(ParallelReduce, StatsMergeIsAssociative) {
@@ -147,7 +167,7 @@ TEST(ParallelReduce, StatsMergeIsAssociative) {
 TEST(OnlineReducerSparse, OnlyFedRanksAppearOrderedByRank) {
   StringTable names;
   const NameId ctx = names.intern("main.1");
-  OnlineReducer red(names, Method::kAbsDiff, 1e9);
+  OnlineReducer red(names, ReductionConfig{Method::kAbsDiff, 1e9});
 
   // Feed ranks 7, 2, and 100000 out of order; no intermediate ranks exist.
   auto feedSegment = [&](Rank r, TimeUs at) {
@@ -171,6 +191,21 @@ TEST(OnlineReducerSparse, OnlyFedRanksAppearOrderedByRank) {
   EXPECT_EQ(res.stats.totalSegments, 4u);
 }
 
+TEST(OnlineReducerSparse, RankZeroFeedCacheIsCorrectFromTheFirstRecord) {
+  // Rank 0 is a perfectly valid rank id; the feed cache must treat "no rank
+  // cached yet" and "rank 0 cached" as different states (the old -1 sentinel
+  // encoded this only by accident; std::optional makes it structural).
+  StringTable names;
+  const NameId ctx = names.intern("main.1");
+  OnlineReducer red(names, ReductionConfig{Method::kAbsDiff, 1e9});
+  red.feed(0, RawRecord{RecordKind::kSegBegin, OpKind::kCompute, ctx, 0, {}});
+  red.feed(0, RawRecord{RecordKind::kSegEnd, OpKind::kCompute, ctx, 10, {}});
+  const ReductionResult res = red.finish();
+  ASSERT_EQ(res.reduced.ranks.size(), 1u);
+  EXPECT_EQ(res.reduced.ranks[0].rank, 0);
+  EXPECT_EQ(res.stats.totalSegments, 1u);
+}
+
 TEST(OnlineReducerSparse, EnsureRankMirrorsOfflineEmptyRanks) {
   // A trace whose middle rank has no records: the offline reducer emits an
   // empty entry for it; online matches once the rank set is pre-registered.
@@ -186,8 +221,7 @@ TEST(OnlineReducerSparse, EnsureRankMirrorsOfflineEmptyRanks) {
       reduceTrace(segmentTrace(trace), trace.names(), *policy);
   ASSERT_EQ(offline.reduced.ranks.size(), 3u);
 
-  OnlineReducer online(trace.names(), Method::kAbsDiff,
-                       defaultThreshold(Method::kAbsDiff));
+  OnlineReducer online(trace.names(), ReductionConfig::defaults(Method::kAbsDiff));
   for (Rank r = 0; r < trace.numRanks(); ++r) {
     online.ensureRank(r);
     for (const RawRecord& rec : trace.rank(r).records) online.feed(r, rec);
@@ -197,7 +231,7 @@ TEST(OnlineReducerSparse, EnsureRankMirrorsOfflineEmptyRanks) {
 
 TEST(OnlineReducerSparse, NegativeRankStillRejected) {
   StringTable names;
-  OnlineReducer red(names, Method::kAbsDiff, 1.0);
+  OnlineReducer red(names, ReductionConfig{Method::kAbsDiff, 1.0});
   RawRecord rec{RecordKind::kSegBegin, OpKind::kCompute, names.intern("x"), 0, {}};
   EXPECT_THROW(red.feed(-1, rec), std::invalid_argument);
 }
@@ -205,7 +239,7 @@ TEST(OnlineReducerSparse, NegativeRankStillRejected) {
 TEST(OnlineReducerSparse, FinishIsTerminal) {
   StringTable names;
   const NameId ctx = names.intern("main.1");
-  OnlineReducer red(names, Method::kAbsDiff, 1.0);
+  OnlineReducer red(names, ReductionConfig{Method::kAbsDiff, 1.0});
   red.feed(0, RawRecord{RecordKind::kSegBegin, OpKind::kCompute, ctx, 0, {}});
   red.feed(0, RawRecord{RecordKind::kSegEnd, OpKind::kCompute, ctx, 10, {}});
   red.finish();

@@ -113,7 +113,7 @@ TEST_P(ThresholdMonotonicity, LooserThresholdsNeverStoreMore) {
   const PreparedTrace& p = cachedTrace("imbalance_at_mpi_barrier");
   std::size_t prevStored = SIZE_MAX;
   for (double t : core::studyThresholds(method)) {
-    const MethodEvaluation ev = evaluateMethod(p, method, t);
+    const MethodEvaluation ev = evaluateMethod(p, {method, t});
     if (method == core::Method::kIterK) {
       // iter_k's "threshold" is k: larger k stores MORE.
       EXPECT_LE(prevStored == SIZE_MAX ? 0 : prevStored, ev.storedSegments);
@@ -130,7 +130,7 @@ TEST_P(ThresholdMonotonicity, ApproxDistanceZeroWhenEverythingStored) {
   const PreparedTrace& p = cachedTrace("late_sender");
   // Threshold 0 (or absDiff 0): only bit-identical segments match, so the
   // reconstruction is exact.
-  const MethodEvaluation ev = evaluateMethod(p, method, 0.0);
+  const MethodEvaluation ev = evaluateMethod(p, {method, 0.0});
   EXPECT_DOUBLE_EQ(ev.approxDistanceUs, 0.0);
 }
 

@@ -217,6 +217,29 @@ TEST(Methods, RegistryNamesRoundTrip) {
   EXPECT_EQ(thresholdedMethods().size(), 8u);
 }
 
+TEST(Methods, ByNameIsCaseInsensitive) {
+  // User-typed CLI input passes straight through.
+  EXPECT_EQ(methodByName("manhattan"), Method::kManhattan);
+  EXPECT_EQ(methodByName("RELDIFF"), Method::kRelDiff);
+  EXPECT_EQ(methodByName("AvgWave"), Method::kAvgWave);
+  EXPECT_EQ(methodByName("ITER_K"), Method::kIterK);
+  // Prefixes or extensions of a valid name are still unknown.
+  EXPECT_THROW(methodByName("manhatta"), std::invalid_argument);
+  EXPECT_THROW(methodByName("manhattann"), std::invalid_argument);
+}
+
+TEST(Methods, UnknownNameErrorListsAllNineMethods) {
+  try {
+    methodByName("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'bogus'"), std::string::npos) << what;
+    for (Method m : allMethods())
+      EXPECT_NE(what.find(methodName(m)), std::string::npos) << what;
+  }
+}
+
 TEST(Methods, PaperDefaultThresholds) {
   EXPECT_DOUBLE_EQ(defaultThreshold(Method::kRelDiff), 0.8);
   EXPECT_DOUBLE_EQ(defaultThreshold(Method::kAbsDiff), 1000.0);

@@ -265,7 +265,9 @@ TEST(Noise, ScheduleIsDeterministicAndSorted) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].time, b[i].time);
     EXPECT_EQ(a[i].duration, b[i].duration);
-    if (i > 0) EXPECT_GE(a[i].time, a[i - 1].time);
+    if (i > 0) {
+      EXPECT_GE(a[i].time, a[i - 1].time);
+    }
   }
   EXPECT_FALSE(a.empty());
 }
