@@ -13,9 +13,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
@@ -30,15 +33,32 @@ struct BenchOptions {
   bool csv = false;
   int threads = 0;  ///< reduction executor width; 0 = hardware concurrency
 
-  static BenchOptions parse(int argc, char** argv) {
-    CliArgs args(argc, argv);
+  /// Parses the common harness flags. Harnesses with their own flags list
+  /// them in `extraKnown` and read their values through args() — argv is
+  /// tokenized exactly once, with one set of boolean-flag rules; anything
+  /// unknown is rejected with a did-you-mean suggestion (exit 2) instead of
+  /// being silently ignored.
+  static BenchOptions parse(int argc, char** argv,
+                            const std::vector<std::string>& extraKnown = {}) {
+    CliArgs args(argc, argv, /*booleanFlags=*/{"csv"});
+    std::vector<std::string> known = {"scale", "seed", "csv", "threads"};
+    known.insert(known.end(), extraKnown.begin(), extraKnown.end());
+    rejectUnknownFlags(args, known);
     BenchOptions opts;
-    opts.workload.scale = args.getDouble("scale", 1.0);
-    opts.workload.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
-    opts.csv = args.getBool("csv", false);
-    opts.threads = args.getInt("threads", 0);
+    try {
+      opts.workload.scale = args.getDouble("scale", 1.0);
+      opts.workload.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+      opts.csv = args.getBool("csv", false);
+      opts.threads = static_cast<int>(args.getInt("threads", 0));
+    } catch (const UsageError& e) {
+      usageExit(args, e.what());
+    }
+    opts.args_.emplace(std::move(args));
     return opts;
   }
+
+  /// The validated command line parse() built, for harness-specific flags.
+  const CliArgs& args() const { return *args_; }
 
   /// The harness-wide executor: one pool, lazily started, reused by every
   /// reduction of the run. Valid until the options object dies (harnesses
@@ -49,6 +69,7 @@ struct BenchOptions {
   }
 
  private:
+  std::optional<CliArgs> args_;
   mutable std::unique_ptr<util::PooledExecutor> executor_;
 };
 

@@ -12,9 +12,8 @@ using namespace tracered;
 using namespace tracered::bench;
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = BenchOptions::parse(argc, argv);
-  CliArgs args(argc, argv);
-  const std::string onlyMethod = args.get("method", "");
+  const BenchOptions opts = BenchOptions::parse(argc, argv, {"method"});
+  const std::string onlyMethod = opts.args().get("method", "");
   TraceCache cache(opts.workload);
 
   for (const std::string& name : {std::string("sweep3d_8p"), std::string("sweep3d_32p")}) {

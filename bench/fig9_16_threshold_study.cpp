@@ -16,10 +16,9 @@ using namespace tracered;
 using namespace tracered::bench;
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = BenchOptions::parse(argc, argv);
-  CliArgs args(argc, argv);
-  const std::string onlyMethod = args.get("method", "");
-  const std::string onlyWorkload = args.get("workload", "");
+  const BenchOptions opts = BenchOptions::parse(argc, argv, {"method", "workload"});
+  const std::string onlyMethod = opts.args().get("method", "");
+  const std::string onlyWorkload = opts.args().get("workload", "");
   TraceCache cache(opts.workload);
 
   int figure = 9;

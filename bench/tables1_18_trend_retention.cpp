@@ -28,9 +28,8 @@ const char* shortVerdict(analysis::Verdict v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchOptions opts = BenchOptions::parse(argc, argv);
-  CliArgs args(argc, argv);
-  const std::string onlyWorkload = args.get("workload", "");
+  const BenchOptions opts = BenchOptions::parse(argc, argv, {"workload"});
+  const std::string onlyWorkload = opts.args().get("workload", "");
   TraceCache cache(opts.workload);
 
   std::map<core::Method, int> correctAtDefault;

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Extracts every ```sh cookbook``` block from a markdown file and runs it
+# verbatim in a scratch directory with the built `tracered` on PATH — the
+# guard that keeps docs/CLI.md's cookbook from drifting from the tool.
+#
+#   usage: run_cookbook.sh <markdown file> <path to tracered binary>
+#
+# Wired up as the `docs_cookbook` ctest and as a CI step.
+set -eu
+
+md=$1
+bin=$2
+
+[ -f "$md" ] || { echo "run_cookbook: no such file: $md" >&2; exit 1; }
+[ -x "$bin" ] || { echo "run_cookbook: not executable: $bin" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+awk '/^```sh cookbook[ ]*$/ { inblock = 1; next }
+     /^```/                 { inblock = 0 }
+     inblock                { print }' "$md" > "$tmp/cookbook.sh"
+
+[ -s "$tmp/cookbook.sh" ] || { echo "run_cookbook: no 'sh cookbook' blocks in $md" >&2; exit 1; }
+
+bindir=$(cd "$(dirname "$bin")" && pwd)
+PATH="$bindir:$PATH"
+export PATH
+
+cd "$tmp"
+echo "== running $(grep -c . cookbook.sh) cookbook lines from $md =="
+sh -eux cookbook.sh
+echo "== cookbook OK =="

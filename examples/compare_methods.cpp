@@ -23,11 +23,16 @@ using namespace tracered;
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
+  rejectUnknownFlags(args, {"workload", "method", "scale", "seed"});
   const std::string workload = args.get("workload", "dyn_load_balance");
   const std::string methodSpec = args.get("method", "");
   eval::WorkloadOptions opts;
-  opts.scale = args.getDouble("scale", 0.5);
-  opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  try {
+    opts.scale = args.getDouble("scale", 0.5);
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+  } catch (const UsageError& e) {
+    usageExit(args, e.what());
+  }
 
   bool known = false;
   for (const auto& w : eval::allWorkloads()) known |= (w == workload);

@@ -1,6 +1,30 @@
 #include "core/reconstruct.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
 namespace tracered::core {
+
+ReductionStats statsFromReduced(const ReducedTrace& reduced) {
+  ReductionStats stats;
+  for (const RankReduced& rr : reduced.ranks) {
+    // Every stored segment has at least its own exec, so fewer execs than
+    // stored segments is a malformed trace — reject instead of letting the
+    // subtractions below wrap.
+    if (rr.execs.size() < rr.stored.size())
+      throw std::runtime_error("statsFromReduced: rank " + std::to_string(rr.rank) + " has " +
+                               std::to_string(rr.stored.size()) + " stored segments but only " +
+                               std::to_string(rr.execs.size()) + " segment execs");
+    stats.totalSegments += rr.execs.size();
+    stats.storedSegments += rr.stored.size();
+    stats.matches += rr.execs.size() - rr.stored.size();
+    std::unordered_set<std::uint64_t> groups;
+    for (const Segment& s : rr.stored) groups.insert(s.signature());
+    stats.possibleMatches += rr.execs.size() - groups.size();
+  }
+  return stats;
+}
 
 SegmentedTrace reconstruct(const ReducedTrace& reduced) {
   SegmentedTrace out;

@@ -5,6 +5,7 @@
 // (same segment/event counts), so timestamps can be compared pairwise.
 #pragma once
 
+#include "core/rank_reduction_engine.hpp"
 #include "trace/reduced_trace.hpp"
 #include "trace/segment.hpp"
 
@@ -13,5 +14,14 @@ namespace tracered::core {
 /// Expands `reduced` into per-rank segments with absolute start times.
 /// Throws std::out_of_range if an exec references an unknown representative.
 SegmentedTrace reconstruct(const ReducedTrace& reduced);
+
+/// Re-derives the match accounting (Sec. 4.3.2) from a reduced trace alone:
+/// totals come from the exec table, matches are execs minus stored, and the
+/// signature-group count comes from the stored representatives — the first
+/// segment of every signature group is always stored, so the stored set
+/// covers exactly the groups. Equal to the ReductionStats reported by the
+/// reduction that produced `reduced` (tested); the CLI's `eval` command uses
+/// this when only the file is left.
+ReductionStats statsFromReduced(const ReducedTrace& reduced);
 
 }  // namespace tracered::core

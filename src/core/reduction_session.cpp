@@ -22,6 +22,7 @@ void ReductionSession::feed(Rank rank, const RawRecord& record) {
     throw std::logic_error("reduction session: feed after the session finished");
   if (!online_) online_.emplace(names_, config_);
   online_->feed(rank, record);
+  ++recordsFed_;
 }
 
 ReductionResult ReductionSession::finish() {

@@ -57,6 +57,11 @@ class ReductionSession {
   /// session is finished, std::runtime_error on malformed streams.
   void feed(Rank rank, const RawRecord& record);
 
+  /// Records fed so far — the live counter long-running feeders (the
+  /// `tracered reduce --streaming` progress line) report between the
+  /// per-rank progress callbacks, which only start firing at finish().
+  std::size_t recordsFed() const { return recordsFed_; }
+
   /// Completes streaming and returns the reduction of everything fed —
   /// bit-identical to segmenting the same records and calling reduce().
   /// On a session that never fed, returns an empty result. Finalizes the
@@ -75,6 +80,7 @@ class ReductionSession {
   ReductionConfig config_;
   ProgressFn progress_;
   std::optional<OnlineReducer> online_;  ///< engaged on first feed/ensureRank
+  std::size_t recordsFed_ = 0;
   bool finished_ = false;
 };
 

@@ -46,28 +46,36 @@ double approximationDistance(const SegmentedTrace& original,
   return percentile(std::move(diffs), p);
 }
 
-MethodEvaluation evaluateMethod(const PreparedTrace& prepared,
-                                const core::ReductionConfig& config) {
+MethodEvaluation evaluateReduction(const PreparedTrace& prepared,
+                                   const ReducedTrace& reduced,
+                                   const core::ReductionStats& stats,
+                                   double distancePercentile) {
   MethodEvaluation out;
-  out.method = config.method;
-  out.threshold = config.threshold;
   out.fullBytes = prepared.fullBytes;
 
-  core::ReductionResult reduction =
-      core::reduceTrace(prepared.segmented, prepared.trace.names(), config);
-
-  out.reducedBytes = reducedTraceSize(reduction.reduced);
+  out.reducedBytes = reducedTraceSize(reduced);
   out.filePct = 100.0 * static_cast<double>(out.reducedBytes) /
                 static_cast<double>(out.fullBytes);
-  out.degreeOfMatching = reduction.stats.degreeOfMatching();
-  out.storedSegments = reduction.stats.storedSegments;
-  out.totalSegments = reduction.stats.totalSegments;
+  out.degreeOfMatching = stats.degreeOfMatching();
+  out.storedSegments = stats.storedSegments;
+  out.totalSegments = stats.totalSegments;
 
-  const SegmentedTrace reconstructed = core::reconstruct(reduction.reduced);
-  out.approxDistanceUs = approximationDistance(prepared.segmented, reconstructed);
+  const SegmentedTrace reconstructed = core::reconstruct(reduced);
+  out.approxDistanceUs =
+      approximationDistance(prepared.segmented, reconstructed, distancePercentile);
 
   out.reducedCube = analysis::analyze(reconstructed);
   out.trends = analysis::compareTrends(prepared.fullCube, out.reducedCube);
+  return out;
+}
+
+MethodEvaluation evaluateMethod(const PreparedTrace& prepared,
+                                const core::ReductionConfig& config) {
+  const core::ReductionResult reduction =
+      core::reduceTrace(prepared.segmented, prepared.trace.names(), config);
+  MethodEvaluation out = evaluateReduction(prepared, reduction.reduced, reduction.stats);
+  out.method = config.method;
+  out.threshold = config.threshold;
   return out;
 }
 

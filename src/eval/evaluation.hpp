@@ -65,6 +65,21 @@ struct MethodEvaluation {
 MethodEvaluation evaluateMethod(const PreparedTrace& prepared,
                                 const core::ReductionConfig& config);
 
+/// The criteria for an already-made reduction of `prepared` — sizes,
+/// matching (from `stats`, e.g. core::statsFromReduced of a trace file),
+/// approximation distance, trend retention — without re-running the reducer.
+/// evaluateMethod delegates here after reducing; the CLI's `eval` command
+/// calls it directly on two files. method/threshold in the result are left
+/// at their defaults (the reduced trace does not record them);
+/// `distancePercentile` selects the approximation-distance percentile
+/// (paper default p90). Throws std::invalid_argument if `reduced` is not
+/// structurally a reduction of `prepared` (rank/segment/event counts must
+/// line up).
+MethodEvaluation evaluateReduction(const PreparedTrace& prepared,
+                                   const ReducedTrace& reduced,
+                                   const core::ReductionStats& stats,
+                                   double distancePercentile = 90.0);
+
 /// evaluateMethod at the paper's default threshold, optionally through a
 /// caller-owned executor.
 MethodEvaluation evaluateMethodDefault(const PreparedTrace& prepared, core::Method method,

@@ -114,6 +114,40 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
   return out;
 }
 
+Trace desegmentTrace(const SegmentedTrace& segmented, const StringTable& names) {
+  Trace trace;
+  for (const auto& s : names.all()) trace.names().intern(s);
+  for (const RankSegments& rs : segmented.ranks) {
+    RankTrace& rt = trace.addRank();
+    rt.rank = rs.rank;
+    for (const Segment& seg : rs.segments) {
+      RawRecord rec;
+      rec.kind = RecordKind::kSegBegin;
+      rec.name = seg.context;
+      rec.time = seg.absStart;
+      rt.records.push_back(rec);
+      for (const EventInterval& e : seg.events) {
+        RawRecord enter;
+        enter.kind = RecordKind::kEnter;
+        enter.op = e.op;
+        enter.name = e.name;
+        enter.time = seg.absStart + e.start;
+        enter.msg = e.msg;
+        rt.records.push_back(enter);
+        RawRecord exit;
+        exit.kind = RecordKind::kExit;
+        exit.name = e.name;
+        exit.time = seg.absStart + e.end;
+        rt.records.push_back(exit);
+      }
+      rec.kind = RecordKind::kSegEnd;
+      rec.time = seg.absStart + seg.end;
+      rt.records.push_back(rec);
+    }
+  }
+  return trace;
+}
+
 SegmentedTrace segmentTrace(const Trace& trace, const SegmenterOptions& opts) {
   SegmenterOptions o = opts;
   SegmentedTrace out;

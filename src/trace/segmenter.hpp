@@ -30,4 +30,11 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
 /// Segments an entire trace.
 SegmentedTrace segmentTrace(const Trace& trace, const SegmenterOptions& opts = {});
 
+/// Inverse of segmentTrace: renders segments back into raw marker/enter/exit
+/// records with absolute timestamps, using `names` as the record streams'
+/// string table (copied into the result). segmentTrace(desegmentTrace(s, n))
+/// reproduces `s` exactly; reconstructed (approximated) traces go through
+/// this to become full traces again (`tracered convert --reconstruct`).
+Trace desegmentTrace(const SegmentedTrace& segmented, const StringTable& names);
+
 }  // namespace tracered

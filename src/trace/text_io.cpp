@@ -17,104 +17,137 @@ bool msgIsEmpty(const MsgInfo& m) { return m == MsgInfo{}; }
 
 }  // namespace
 
-std::string traceToText(const Trace& trace) {
-  std::ostringstream os;
+void writeTextHeader(std::ostream& os, const StringTable& names, int numRanks) {
   os << "# tracered text trace v1\n";
-  os << "ranks " << trace.numRanks() << '\n';
-  for (NameId id = 0; id < trace.names().size(); ++id)
-    os << "string " << id << ' ' << trace.names().name(id) << '\n';
-  for (Rank r = 0; r < trace.numRanks(); ++r) {
-    os << "rank " << r << '\n';
-    for (const RawRecord& rec : trace.rank(r).records) {
-      switch (rec.kind) {
-        case RecordKind::kSegBegin:
-          os << "B " << rec.time << ' ' << rec.name << '\n';
-          break;
-        case RecordKind::kSegEnd:
-          os << "E " << rec.time << ' ' << rec.name << '\n';
-          break;
-        case RecordKind::kEnter:
-          os << "> " << rec.time << ' ' << rec.name << ' '
-             << static_cast<int>(rec.op);
-          if (!msgIsEmpty(rec.msg)) {
-            os << ' ' << rec.msg.peer << ' ' << rec.msg.tag << ' ' << rec.msg.root
-               << ' ' << rec.msg.comm << ' ' << rec.msg.bytes;
-          }
-          os << '\n';
-          break;
-        case RecordKind::kExit:
-          os << "< " << rec.time << ' ' << rec.name << '\n';
-          break;
-      }
+  os << "ranks " << numRanks << '\n';
+  for (NameId id = 0; id < names.size(); ++id)
+    os << "string " << id << ' ' << names.name(id) << '\n';
+}
+
+void writeTextRank(std::ostream& os, const RankTrace& rankTrace) {
+  os << "rank " << rankTrace.rank << '\n';
+  for (const RawRecord& rec : rankTrace.records) {
+    switch (rec.kind) {
+      case RecordKind::kSegBegin:
+        os << "B " << rec.time << ' ' << rec.name << '\n';
+        break;
+      case RecordKind::kSegEnd:
+        os << "E " << rec.time << ' ' << rec.name << '\n';
+        break;
+      case RecordKind::kEnter:
+        os << "> " << rec.time << ' ' << rec.name << ' ' << static_cast<int>(rec.op);
+        if (!msgIsEmpty(rec.msg)) {
+          os << ' ' << rec.msg.peer << ' ' << rec.msg.tag << ' ' << rec.msg.root
+             << ' ' << rec.msg.comm << ' ' << rec.msg.bytes;
+        }
+        os << '\n';
+        break;
+      case RecordKind::kExit:
+        os << "< " << rec.time << ' ' << rec.name << '\n';
+        break;
     }
   }
+}
+
+std::string traceToText(const Trace& trace) {
+  std::ostringstream os;
+  writeTextHeader(os, trace.names(), trace.numRanks());
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    // One section per rank, ids dense and in order: anything else (sparse
+    // ids, which are legal in TRF1, or duplicate ids, which the parser would
+    // silently merge) cannot round-trip — fail loudly rather than emit text
+    // that parses into a different trace.
+    const Rank id = trace.rank(r).rank;
+    if (id != r)
+      throw std::runtime_error("text trace: rank id " + std::to_string(id) + " at index " +
+                               std::to_string(r) +
+                               " (text requires dense rank ids 0..N-1, in order)");
+    writeTextRank(os, trace.rank(r));
+  }
   return os.str();
+}
+
+bool TextTraceParser::feedLine(const std::string& line) {
+  ++lineNo_;
+  if (line.empty() || line[0] == '#') return false;
+  std::istringstream ls(line);
+  std::string tok;
+  ls >> tok;
+
+  if (tok == "ranks") {
+    // Exactly one declaration: chunked readers snapshot the count at open,
+    // so a mid-file re-declaration would make them diverge from whole-file
+    // parsing. The reference writer emits exactly one (FORMATS.md §2).
+    if (declaredRanks_ >= 0) fail(lineNo_, "duplicate ranks directive");
+    if (!(ls >> declaredRanks_) || declaredRanks_ < 0) fail(lineNo_, "bad rank count");
+    return false;
+  }
+  if (tok == "string") {
+    NameId id;
+    std::string name;
+    if (!(ls >> id)) fail(lineNo_, "bad string id");
+    if (!(ls >> name)) fail(lineNo_, "missing string value");
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty()) name += rest;  // names may contain spaces
+    const NameId got = names_.intern(name);
+    if (got != id) fail(lineNo_, "string ids must be dense and in order");
+    return false;
+  }
+  if (tok == "rank") {
+    int r;
+    if (!(ls >> r) || r < 0 || r >= declaredRanks_) fail(lineNo_, "bad rank id");
+    currentRank_ = r;
+    return false;
+  }
+  if (tok == "B" || tok == "E" || tok == "<") {
+    record_ = RawRecord{};
+    record_.kind = tok == "B"   ? RecordKind::kSegBegin
+                   : tok == "E" ? RecordKind::kSegEnd
+                                : RecordKind::kExit;
+    if (!(ls >> record_.time >> record_.name)) fail(lineNo_, "bad record fields");
+    if (record_.name >= names_.size()) fail(lineNo_, "unknown name id");
+    if (currentRank_ < 0) fail(lineNo_, "record before any 'rank' line");
+    return true;
+  }
+  if (tok == ">") {
+    record_ = RawRecord{};
+    record_.kind = RecordKind::kEnter;
+    int op;
+    if (!(ls >> record_.time >> record_.name >> op)) fail(lineNo_, "bad enter fields");
+    if (record_.name >= names_.size()) fail(lineNo_, "unknown name id");
+    if (op < 0 || op > kMaxOp) fail(lineNo_, "unknown op code");
+    record_.op = static_cast<OpKind>(op);
+    if (ls >> record_.msg.peer) {
+      if (!(ls >> record_.msg.tag >> record_.msg.root >> record_.msg.comm >>
+            record_.msg.bytes))
+        fail(lineNo_, "incomplete message info");
+    }
+    if (currentRank_ < 0) fail(lineNo_, "record before any 'rank' line");
+    return true;
+  }
+  fail(lineNo_, "unknown directive '" + tok + "'");
+}
+
+void TextTraceParser::finish() const {
+  if (declaredRanks_ < 0) fail(lineNo_, "missing 'ranks' header");
 }
 
 Trace traceFromText(const std::string& text) {
   std::istringstream is(text);
   std::string line;
-  std::size_t lineNo = 0;
+  TextTraceParser parser;
 
   Trace trace;
-  int declaredRanks = -1;
-  Rank currentRank = -1;
-
-  auto requireRank = [&]() -> RankTrace& {
-    if (currentRank < 0) fail(lineNo, "record before any 'rank' line");
-    return trace.rank(currentRank);
-  };
-
   while (std::getline(is, line)) {
-    ++lineNo;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string tok;
-    ls >> tok;
-
-    if (tok == "ranks") {
-      if (!(ls >> declaredRanks) || declaredRanks < 0) fail(lineNo, "bad rank count");
-      for (int i = 0; i < declaredRanks; ++i) trace.addRank();
-    } else if (tok == "string") {
-      NameId id;
-      std::string name;
-      if (!(ls >> id)) fail(lineNo, "bad string id");
-      if (!(ls >> name)) fail(lineNo, "missing string value");
-      std::string rest;
-      std::getline(ls, rest);
-      if (!rest.empty()) name += rest;  // names may contain spaces
-      const NameId got = trace.names().intern(name);
-      if (got != id) fail(lineNo, "string ids must be dense and in order");
-    } else if (tok == "rank") {
-      int r;
-      if (!(ls >> r) || r < 0 || r >= trace.numRanks()) fail(lineNo, "bad rank id");
-      currentRank = r;
-    } else if (tok == "B" || tok == "E" || tok == "<") {
-      RawRecord rec;
-      rec.kind = tok == "B"   ? RecordKind::kSegBegin
-                 : tok == "E" ? RecordKind::kSegEnd
-                              : RecordKind::kExit;
-      if (!(ls >> rec.time >> rec.name)) fail(lineNo, "bad record fields");
-      if (rec.name >= trace.names().size()) fail(lineNo, "unknown name id");
-      requireRank().records.push_back(rec);
-    } else if (tok == ">") {
-      RawRecord rec;
-      rec.kind = RecordKind::kEnter;
-      int op;
-      if (!(ls >> rec.time >> rec.name >> op)) fail(lineNo, "bad enter fields");
-      if (rec.name >= trace.names().size()) fail(lineNo, "unknown name id");
-      if (op < 0 || op > kMaxOp) fail(lineNo, "unknown op code");
-      rec.op = static_cast<OpKind>(op);
-      if (ls >> rec.msg.peer) {
-        if (!(ls >> rec.msg.tag >> rec.msg.root >> rec.msg.comm >> rec.msg.bytes))
-          fail(lineNo, "incomplete message info");
-      }
-      requireRank().records.push_back(rec);
-    } else {
-      fail(lineNo, "unknown directive '" + tok + "'");
+    if (!parser.feedLine(line)) {
+      while (trace.numRanks() < parser.declaredRanks()) trace.addRank();
+      continue;
     }
+    trace.rank(parser.currentRank()).records.push_back(parser.record());
   }
-  if (declaredRanks < 0) fail(lineNo, "missing 'ranks' header");
+  parser.finish();
+  for (const auto& s : parser.names().all()) trace.names().intern(s);
   return trace;
 }
 

@@ -1,0 +1,306 @@
+#include "trace/trace_file.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/trace_codec.hpp"
+
+namespace tracered {
+
+namespace {
+
+/// First whitespace-delimited token of a line; empty for blank lines.
+std::string firstToken(const std::string& line) {
+  std::istringstream ls(line);
+  std::string tok;
+  ls >> tok;
+  return tok;
+}
+
+}  // namespace
+
+const char* formatName(TraceFileFormat f) {
+  switch (f) {
+    case TraceFileFormat::kFullBinary:
+      return "full binary (TRF1)";
+    case TraceFileFormat::kReducedBinary:
+      return "reduced binary (TRR1)";
+    case TraceFileFormat::kText:
+      return "text trace v1";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sniffs the format from an already-open stream and rewinds it to the
+/// start, so the caller can keep reading without a second open.
+TraceFileFormat detectOpenStream(std::istream& f, const std::string& path) {
+  unsigned char magic[4] = {0, 0, 0, 0};
+  f.read(reinterpret_cast<char*>(magic), 4);
+  if (f.gcount() == 4) {
+    // Assemble the little-endian u32 and compare against the codec's
+    // constants — the single definition of the magics.
+    std::uint32_t m = 0;
+    for (int i = 0; i < 4; ++i) m |= static_cast<std::uint32_t>(magic[i]) << (8 * i);
+    if (m == codec::kFullMagic || m == codec::kReducedMagic) {
+      f.clear();
+      f.seekg(0);
+      return m == codec::kFullMagic ? TraceFileFormat::kFullBinary
+                                    : TraceFileFormat::kReducedBinary;
+    }
+  }
+  // Not a binary trace: accept as text iff the first non-blank line is a v1
+  // directive or comment (the parser will do the real validation). Sniff a
+  // bounded head only — getline over the whole file would materialize a
+  // multi-GB newline-free non-trace just to say "unrecognized".
+  constexpr std::size_t kSniffBytes = 64 * 1024;
+  f.clear();
+  f.seekg(0);
+  std::string head(kSniffBytes, '\0');
+  f.read(head.data(), static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<std::size_t>(f.gcount()));
+  std::istringstream hs(head);
+  std::string line;
+  while (std::getline(hs, line)) {
+    const std::string tok = firstToken(line);
+    if (tok.empty()) continue;
+    if (tok[0] == '#' || tok == "ranks" || tok == "string" || tok == "rank" ||
+        tok == "B" || tok == "E" || tok == ">" || tok == "<") {
+      f.clear();
+      f.seekg(0);
+      return TraceFileFormat::kText;
+    }
+    break;
+  }
+  throw std::runtime_error("trace_file: unrecognized trace format: " + path);
+}
+
+/// The reader constructor's member-initializer hook: validates the open
+/// before sniffing so a missing file reports "cannot open", not
+/// "unrecognized format".
+TraceFileFormat requireOpenAndDetect(std::ifstream& f, const std::string& path) {
+  if (!f) throw std::runtime_error("trace_file: cannot open for read: " + path);
+  return detectOpenStream(f, path);
+}
+
+}  // namespace
+
+TraceFileFormat detectTraceFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return requireOpenAndDetect(f, path);
+}
+
+TraceFileReader::TraceFileReader(const std::string& path, std::size_t chunkBytes)
+    : path_(path),
+      in_(path, std::ios::binary),
+      format_(requireOpenAndDetect(in_, path)),
+      names_(format_ == TraceFileFormat::kText ? text_.names() : namesOwn_) {
+  if (format_ == TraceFileFormat::kReducedBinary)
+    throw std::runtime_error(
+        "trace_file: '" + path +
+        "' is already a reduced trace (TRR1) where a full trace is expected; "
+        "'tracered convert --reconstruct' turns it into an approximated full trace "
+        "(library code: deserializeReducedTrace)");
+  if (format_ == TraceFileFormat::kFullBinary) {
+    bin_.emplace(in_, chunkBytes);
+    openBinary();
+  } else {
+    openText();
+  }
+}
+
+void TraceFileReader::openBinary() {
+  StreamByteReader& r = *bin_;
+  codec::readFullHeader(r);
+  namesOwn_ = codec::readStringTable(r);
+  numRanks_ = r.uvarint();
+}
+
+void TraceFileReader::openText() {
+  // Consume header lines (comments, 'ranks', leading 'string' directives) up
+  // to the first rank section, which streamRecords() must see so it can fire
+  // onRank; it is stashed unparsed in pendingLine_.
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.size() > textBytesBuffered_) textBytesBuffered_ = line.size();
+    if (firstToken(line) == "rank") {
+      pendingLine_ = line;
+      pendingLineValid_ = true;
+      break;
+    }
+    text_.feedLine(line);
+  }
+  if (text_.declaredRanks() < 0) text_.finish();  // throws: missing header
+  numRanks_ = static_cast<std::size_t>(text_.declaredRanks());
+}
+
+void TraceFileReader::streamRecords(const RecordFn& onRecord, const RankFn& onRank) {
+  if (consumed_)
+    throw std::logic_error("trace_file: reader already consumed (single-pass)");
+  consumed_ = true;
+  if (format_ == TraceFileFormat::kFullBinary)
+    streamBinary(onRecord, onRank);
+  else
+    streamText(onRecord, onRank);
+}
+
+void TraceFileReader::streamBinary(const RecordFn& onRecord, const RankFn& onRank) {
+  StreamByteReader& r = *bin_;
+  std::int64_t prevRank = -1;
+  for (std::size_t i = 0; i < numRanks_; ++i) {
+    const Rank rank = static_cast<Rank>(r.uvarint());
+    // Ascending ids make streaming (rank-id-ordered) and offline (file-
+    // ordered) reduction agree; every file our writers emit satisfies this.
+    if (static_cast<std::int64_t>(rank) <= prevRank)
+      throw std::runtime_error("trace_file: rank entries out of ascending order");
+    prevRank = rank;
+    if (onRank) onRank(rank);
+    const std::uint64_t nRecs = r.uvarint();
+    TimeUs prev = 0;
+    for (std::uint64_t j = 0; j < nRecs; ++j) {
+      const RawRecord rec = codec::readRecord(r, prev);
+      onRecord(rank, rec);
+    }
+  }
+  if (!r.atEnd()) throw std::runtime_error("trace_io: trailing bytes in full trace");
+}
+
+void TraceFileReader::streamText(const RecordFn& onRecord, const RankFn& onRank) {
+  // Rank-section starts are detected by the parser's current rank changing —
+  // no second tokenization per line. A consecutive re-announcement of the
+  // same rank is invisible here, which is fine: onRank exists to register
+  // ranks (ensureRank), and that rank is already registered.
+  std::vector<bool> announced(numRanks_, false);
+  auto feed = [&](const std::string& line) {
+    const Rank before = text_.currentRank();
+    if (text_.feedLine(line))
+      onRecord(text_.currentRank(), text_.record());
+    else if (text_.currentRank() != before && onRank)
+      onRank(text_.currentRank());
+    const Rank cur = text_.currentRank();
+    if (cur >= 0 && static_cast<std::size_t>(cur) < announced.size())
+      announced[static_cast<std::size_t>(cur)] = true;
+  };
+  if (pendingLineValid_) {
+    pendingLineValid_ = false;
+    feed(pendingLine_);
+  }
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.size() > textBytesBuffered_) textBytesBuffered_ = line.size();
+    feed(line);
+  }
+  text_.finish();
+  // Text sections are optional per rank; announce the declared-but-absent
+  // ones so a streaming reducer wired straight to feed/ensureRank sees the
+  // same rank set as offline reduction — without this, idle-rank parity
+  // would hold only for callers that re-register the declared set manually.
+  if (onRank)
+    for (std::size_t r = 0; r < announced.size(); ++r)
+      if (!announced[r]) onRank(static_cast<Rank>(r));
+}
+
+Trace TraceFileReader::readAll() {
+  Trace trace;
+  if (format_ == TraceFileFormat::kFullBinary) {
+    for (const auto& s : namesOwn_.all()) trace.names().intern(s);
+    streamRecords(
+        [&](Rank, const RawRecord& rec) {
+          trace.rank(trace.numRanks() - 1).records.push_back(rec);
+        },
+        [&](Rank rank) { trace.addRank().rank = rank; });
+  } else {
+    for (std::size_t i = 0; i < numRanks_; ++i) trace.addRank();
+    streamRecords(
+        [&](Rank rank, const RawRecord& rec) { trace.rank(rank).records.push_back(rec); });
+    for (const auto& s : text_.names().all()) trace.names().intern(s);
+  }
+  return trace;
+}
+
+std::size_t TraceFileReader::maxBufferedBytes() const {
+  return format_ == TraceFileFormat::kFullBinary ? bin_->maxBufferedBytes()
+                                                 : textBytesBuffered_;
+}
+
+TraceFileWriter::TraceFileWriter(const std::string& path, const StringTable& names,
+                                 std::size_t numRanks, TraceFileFormat format)
+    : path_(path), format_(format), numRanks_(numRanks) {
+  if (format == TraceFileFormat::kReducedBinary)
+    throw std::invalid_argument(
+        "trace_file: TraceFileWriter writes full traces; serialize reduced traces "
+        "with serializeReducedTrace");
+  out_.open(path, std::ios::binary);
+  if (!out_) throw std::runtime_error("trace_file: cannot open for write: " + path);
+  if (format == TraceFileFormat::kFullBinary) {
+    ByteWriter w;
+    w.u32(codec::kFullMagic);
+    w.u8(codec::kVersion);
+    codec::writeStringTable(w, names);
+    w.uvarint(numRanks);
+    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+               static_cast<std::streamsize>(w.size()));
+  } else {
+    writeTextHeader(out_, names, static_cast<int>(numRanks));
+  }
+}
+
+TraceFileWriter::~TraceFileWriter() = default;
+
+void TraceFileWriter::writeRank(const RankTrace& rankTrace) {
+  if (finished_) throw std::logic_error("trace_file: writeRank after finish");
+  if (written_ == numRanks_)
+    throw std::logic_error("trace_file: more rank sections than declared");
+  ++written_;
+  // Strictly ascending, non-negative rank ids for both formats: the binary
+  // streaming reader requires it outright (so its output matches offline
+  // reduction byte-for-byte), and for text a duplicate id would be silently
+  // merged by the parser into a different trace. Enforce at write time so
+  // the writer can never emit a file that misreads.
+  if (rankTrace.rank <= lastRank_)
+    throw std::runtime_error("trace_file: rank sections must have strictly ascending "
+                             "non-negative ids; rank " + std::to_string(rankTrace.rank) +
+                             " follows rank " + std::to_string(lastRank_));
+  lastRank_ = rankTrace.rank;
+  if (format_ == TraceFileFormat::kFullBinary) {
+    ByteWriter w;
+    w.uvarint(static_cast<std::uint64_t>(rankTrace.rank));
+    w.uvarint(rankTrace.records.size());
+    TimeUs prev = 0;
+    for (const RawRecord& rec : rankTrace.records) codec::writeRecord(w, rec, prev);
+    out_.write(reinterpret_cast<const char*>(w.bytes().data()),
+               static_cast<std::streamsize>(w.size()));
+  } else {
+    // The text grammar additionally checks `rank r` against the declared
+    // count, so an id beyond it (legal in TRF1) would write a file no
+    // reader accepts — fail here, at write time, instead.
+    if (static_cast<std::size_t>(rankTrace.rank) >= numRanks_)
+      throw std::runtime_error("trace_file: text format requires rank ids in 0.." +
+                               std::to_string(numRanks_ - 1) + ", got " +
+                               std::to_string(rankTrace.rank));
+    writeTextRank(out_, rankTrace);
+  }
+}
+
+void TraceFileWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (written_ != numRanks_)
+    throw std::runtime_error("trace_file: wrote " + std::to_string(written_) + " of " +
+                             std::to_string(numRanks_) + " declared rank sections");
+  out_.flush();
+  if (!out_) throw std::runtime_error("trace_file: write failed: " + path_);
+  out_.close();
+}
+
+void writeTraceFile(const std::string& path, const Trace& trace, TraceFileFormat format) {
+  TraceFileWriter w(path, trace.names(), static_cast<std::size_t>(trace.numRanks()),
+                    format);
+  for (Rank r = 0; r < trace.numRanks(); ++r) w.writeRank(trace.rank(r));
+  w.finish();
+}
+
+}  // namespace tracered

@@ -1,0 +1,146 @@
+// Streaming trace file I/O: chunked reader/writer for on-disk traces.
+//
+// trace_io (de)serializes whole traces held in memory; this module is the
+// scalable path the `tracered` CLI drives: a TraceFileReader that decodes a
+// TRF1 or text trace chunk-by-chunk and hands out records in file order —
+// so a trace never has to fit in memory to be reduced (feed the records to
+// ReductionSession::feed) — and a TraceFileWriter that emits rank-by-rank,
+// byte-identical to serializeFullTrace (both sit on the same trace_codec
+// templates; docs/FORMATS.md is the normative layout spec). The reader
+// auto-detects the format (binary magics vs text directives) on open.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "trace/text_io.hpp"
+#include "trace/trace.hpp"
+#include "util/bytebuf.hpp"
+
+namespace tracered {
+
+/// On-disk trace flavors the reader can detect.
+enum class TraceFileFormat {
+  kFullBinary,     ///< "TRF1": full trace, binary (docs/FORMATS.md §1).
+  kReducedBinary,  ///< "TRR1": reduced trace, binary (docs/FORMATS.md §2).
+  kText,           ///< Text trace v1, full traces only (docs/FORMATS.md §3).
+};
+
+const char* formatName(TraceFileFormat f);
+
+/// Sniffs `path` (magic bytes, else text directives). Throws
+/// std::runtime_error on unreadable or unrecognizable files.
+TraceFileFormat detectTraceFile(const std::string& path);
+
+/// Chunked, single-pass reader for FULL traces (binary or text; a reduced
+/// file is rejected at open — reduced traces are small by construction, read
+/// them whole via readFile + deserializeReducedTrace). The file header
+/// (string table for binary, the `ranks` directive for text) is decoded at
+/// construction; records are decoded on demand, holding at most about one
+/// chunk of the file in memory at any time.
+///
+/// Validation is the whole-buffer reader's plus streaming-specific rules:
+/// binary rank entries must have strictly ascending rank ids (every file the
+/// writers produce does), so that streaming reduction orders ranks exactly
+/// like offline reduction and their outputs stay byte-identical.
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path,
+                           std::size_t chunkBytes = StreamByteReader::kDefaultChunkBytes);
+
+  TraceFileFormat format() const { return format_; }
+
+  /// The trace-wide string table. Stable address for the reader's lifetime
+  /// (hand it to ReductionSession); for text input it can still grow while
+  /// streaming (`string` directives may legally trail the header).
+  const StringTable& names() const { return names_; }
+
+  /// Declared rank count (binary: header field; text: `ranks` directive).
+  std::size_t numRanks() const { return numRanks_; }
+
+  using RecordFn = std::function<void(Rank, const RawRecord&)>;
+  using RankFn = std::function<void(Rank)>;
+
+  /// Streams every record in file order through `onRecord` in one pass.
+  /// `onRank`, if set, fires whenever a new rank section begins — including
+  /// sections with no records, which is how a streaming reducer learns about
+  /// idle ranks (ReductionSession::ensureRank). For text input a section
+  /// re-announcing the rank already current does not re-fire (the rank is
+  /// already registered), and declared ranks with no section at all fire
+  /// (ascending) after the last line — every declared rank is announced, so
+  /// feed/ensureRank wiring reproduces offline reduction's rank set exactly.
+  /// Call once; throws std::runtime_error / std::out_of_range on malformed
+  /// input.
+  void streamRecords(const RecordFn& onRecord, const RankFn& onRank = {});
+
+  /// Materializes the whole trace. For binary input this produces exactly
+  /// deserializeFullTrace(readFile(path)); for text, traceFromText of the
+  /// file. Call once (consumes the stream).
+  Trace readAll();
+
+  /// High-water mark of the decode buffer — stays near the chunk size no
+  /// matter how large the file is (tested; the "never loads the whole trace
+  /// into one buffer" guarantee).
+  std::size_t maxBufferedBytes() const;
+
+ private:
+  void openBinary();
+  void streamBinary(const RecordFn& onRecord, const RankFn& onRank);
+  void openText();
+  void streamText(const RecordFn& onRecord, const RankFn& onRank);
+
+  std::string path_;
+  std::ifstream in_;
+  TraceFileFormat format_;
+  std::optional<StreamByteReader> bin_;  ///< engaged for binary input
+  TextTraceParser text_;                 ///< drives text input
+  std::string pendingLine_;              ///< first post-header text line
+  bool pendingLineValid_ = false;
+  std::size_t textBytesBuffered_ = 0;    ///< longest line seen (text input)
+  StringTable namesOwn_;                 ///< binary header's table
+  const StringTable& names_;
+  std::size_t numRanks_ = 0;
+  bool consumed_ = false;
+};
+
+/// Rank-at-a-time writer for full traces. Writes the header at construction
+/// and one rank section per writeRank() call, so only one rank's records are
+/// ever in memory. For binary output the bytes are identical to
+/// writeFile(path, serializeFullTrace(trace)) of the same trace.
+class TraceFileWriter {
+ public:
+  /// Opens `path` and writes the header. `names` must already contain every
+  /// name the ranks' records reference. `format` must be kFullBinary or
+  /// kText (reduced traces are written whole via serializeReducedTrace).
+  TraceFileWriter(const std::string& path, const StringTable& names, std::size_t numRanks,
+                  TraceFileFormat format = TraceFileFormat::kFullBinary);
+
+  /// Closes the file without finish()'s completeness check (abandoned write).
+  ~TraceFileWriter();
+
+  /// Appends one rank section, in file order. Throws std::logic_error after
+  /// numRanks sections or after finish().
+  void writeRank(const RankTrace& rankTrace);
+
+  /// Flushes and closes; throws std::runtime_error if fewer than numRanks
+  /// sections were written or the stream failed.
+  void finish();
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  TraceFileFormat format_;
+  std::size_t numRanks_;
+  std::size_t written_ = 0;
+  Rank lastRank_ = -1;  ///< id of the previous rank section; -1 before any
+  bool finished_ = false;
+};
+
+/// Whole-trace convenience over TraceFileWriter.
+void writeTraceFile(const std::string& path, const Trace& trace,
+                    TraceFileFormat format = TraceFileFormat::kFullBinary);
+
+}  // namespace tracered

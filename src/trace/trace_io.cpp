@@ -3,86 +3,31 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "trace/trace_codec.hpp"
 #include "util/bytebuf.hpp"
 
 namespace tracered {
 
-namespace {
-
-constexpr std::uint32_t kFullMagic = 0x31465254;     // "TRF1"
-constexpr std::uint32_t kReducedMagic = 0x31525254;  // "TRR1"
-constexpr std::uint8_t kVersion = 1;
-
-void writeStringTable(ByteWriter& w, const StringTable& names) {
-  w.uvarint(names.size());
-  for (const auto& s : names.all()) w.str(s);
-}
-
-StringTable readStringTable(ByteReader& r) {
-  StringTable names;
-  const std::uint64_t n = r.uvarint();
-  for (std::uint64_t i = 0; i < n; ++i) names.intern(r.str());
-  return names;
-}
-
-bool msgIsEmpty(const MsgInfo& m) { return m == MsgInfo{}; }
-
-void writeMsg(ByteWriter& w, const MsgInfo& m) {
-  if (msgIsEmpty(m)) {
-    w.u8(0);
-    return;
-  }
-  w.u8(1);
-  w.svarint(m.peer);
-  w.svarint(m.tag);
-  w.svarint(m.root);
-  w.svarint(m.comm);
-  w.uvarint(m.bytes);
-}
-
-MsgInfo readMsg(ByteReader& r) {
-  MsgInfo m;
-  if (r.u8() == 0) return m;
-  m.peer = static_cast<std::int32_t>(r.svarint());
-  m.tag = static_cast<std::int32_t>(r.svarint());
-  m.root = static_cast<std::int32_t>(r.svarint());
-  m.comm = static_cast<std::int32_t>(r.svarint());
-  m.bytes = static_cast<std::uint32_t>(r.uvarint());
-  return m;
-}
-
-}  // namespace
-
 std::vector<std::uint8_t> serializeFullTrace(const Trace& trace) {
   ByteWriter w;
-  w.u32(kFullMagic);
-  w.u8(kVersion);
-  writeStringTable(w, trace.names());
+  w.u32(codec::kFullMagic);
+  w.u8(codec::kVersion);
+  codec::writeStringTable(w, trace.names());
   w.uvarint(static_cast<std::uint64_t>(trace.numRanks()));
   for (Rank rk = 0; rk < trace.numRanks(); ++rk) {
     const RankTrace& rt = trace.rank(rk);
     w.uvarint(static_cast<std::uint64_t>(rt.rank));
     w.uvarint(rt.records.size());
     TimeUs prev = 0;
-    for (const RawRecord& rec : rt.records) {
-      w.u8(static_cast<std::uint8_t>(rec.kind));
-      w.uvarint(rec.name);
-      w.svarint(rec.time - prev);
-      prev = rec.time;
-      if (rec.kind == RecordKind::kEnter) {
-        w.u8(static_cast<std::uint8_t>(rec.op));
-        writeMsg(w, rec.msg);
-      }
-    }
+    for (const RawRecord& rec : rt.records) codec::writeRecord(w, rec, prev);
   }
   return w.bytes();
 }
 
 Trace deserializeFullTrace(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
-  if (r.u32() != kFullMagic) throw std::runtime_error("trace_io: bad full-trace magic");
-  if (r.u8() != kVersion) throw std::runtime_error("trace_io: unsupported version");
-  StringTable names = readStringTable(r);
+  codec::readFullHeader(r);
+  StringTable names = codec::readStringTable(r);
   Trace trace;
   for (const auto& s : names.all()) trace.names().intern(s);
   const std::uint64_t nRanks = r.uvarint();
@@ -92,73 +37,22 @@ Trace deserializeFullTrace(const std::vector<std::uint8_t>& bytes) {
     const std::uint64_t nRecs = r.uvarint();
     rt.records.reserve(nRecs);
     TimeUs prev = 0;
-    for (std::uint64_t j = 0; j < nRecs; ++j) {
-      RawRecord rec;
-      rec.kind = static_cast<RecordKind>(r.u8());
-      rec.name = static_cast<NameId>(r.uvarint());
-      rec.time = prev + r.svarint();
-      prev = rec.time;
-      if (rec.kind == RecordKind::kEnter) {
-        rec.op = static_cast<OpKind>(r.u8());
-        rec.msg = readMsg(r);
-      }
-      rt.records.push_back(rec);
-    }
+    for (std::uint64_t j = 0; j < nRecs; ++j) rt.records.push_back(codec::readRecord(r, prev));
   }
   if (!r.atEnd()) throw std::runtime_error("trace_io: trailing bytes in full trace");
   return trace;
 }
 
-namespace {
-
-void writeSegment(ByteWriter& w, const Segment& s) {
-  w.uvarint(s.context);
-  w.svarint(s.end);
-  w.uvarint(s.events.size());
-  TimeUs prev = 0;
-  for (const EventInterval& e : s.events) {
-    w.uvarint(e.name);
-    w.u8(static_cast<std::uint8_t>(e.op));
-    w.svarint(e.start - prev);
-    w.svarint(e.end - e.start);
-    prev = e.end;
-    writeMsg(w, e.msg);
-  }
-}
-
-Segment readSegment(ByteReader& r, Rank rank) {
-  Segment s;
-  s.rank = rank;
-  s.context = static_cast<NameId>(r.uvarint());
-  s.end = r.svarint();
-  const std::uint64_t n = r.uvarint();
-  s.events.reserve(n);
-  TimeUs prev = 0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    EventInterval e;
-    e.name = static_cast<NameId>(r.uvarint());
-    e.op = static_cast<OpKind>(r.u8());
-    e.start = prev + r.svarint();
-    e.end = e.start + r.svarint();
-    prev = e.end;
-    e.msg = readMsg(r);
-    s.events.push_back(e);
-  }
-  return s;
-}
-
-}  // namespace
-
 std::vector<std::uint8_t> serializeReducedTrace(const ReducedTrace& reduced) {
   ByteWriter w;
-  w.u32(kReducedMagic);
-  w.u8(kVersion);
-  writeStringTable(w, reduced.names);
+  w.u32(codec::kReducedMagic);
+  w.u8(codec::kVersion);
+  codec::writeStringTable(w, reduced.names);
   w.uvarint(reduced.ranks.size());
   for (const RankReduced& rr : reduced.ranks) {
     w.uvarint(static_cast<std::uint64_t>(rr.rank));
     w.uvarint(rr.stored.size());
-    for (const Segment& s : rr.stored) writeSegment(w, s);
+    for (const Segment& s : rr.stored) codec::writeSegment(w, s);
     w.uvarint(rr.execs.size());
     TimeUs prev = 0;
     for (const SegmentExec& e : rr.execs) {
@@ -172,17 +66,19 @@ std::vector<std::uint8_t> serializeReducedTrace(const ReducedTrace& reduced) {
 
 ReducedTrace deserializeReducedTrace(const std::vector<std::uint8_t>& bytes) {
   ByteReader r(bytes);
-  if (r.u32() != kReducedMagic) throw std::runtime_error("trace_io: bad reduced-trace magic");
-  if (r.u8() != kVersion) throw std::runtime_error("trace_io: unsupported version");
+  if (r.u32() != codec::kReducedMagic)
+    throw std::runtime_error("trace_io: bad reduced-trace magic");
+  if (r.u8() != codec::kVersion) throw std::runtime_error("trace_io: unsupported version");
   ReducedTrace out;
-  out.names = readStringTable(r);
+  out.names = codec::readStringTable(r);
   const std::uint64_t nRanks = r.uvarint();
   for (std::uint64_t i = 0; i < nRanks; ++i) {
     RankReduced rr;
     rr.rank = static_cast<Rank>(r.uvarint());
     const std::uint64_t nStored = r.uvarint();
     rr.stored.reserve(nStored);
-    for (std::uint64_t j = 0; j < nStored; ++j) rr.stored.push_back(readSegment(r, rr.rank));
+    for (std::uint64_t j = 0; j < nStored; ++j)
+      rr.stored.push_back(codec::readSegment(r, rr.rank));
     const std::uint64_t nExecs = r.uvarint();
     rr.execs.reserve(nExecs);
     TimeUs prev = 0;

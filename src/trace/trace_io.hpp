@@ -10,6 +10,11 @@
 // Both use the same event encoding so the ratio between them reflects the
 // reduction achieved by segment matching rather than encoding tricks. Readers
 // fully validate and round-trip the writers' output.
+//
+// docs/FORMATS.md is the normative byte-level spec of both layouts (§1 TRF1,
+// §2 TRR1); the record-level encoding itself lives in trace_codec.hpp, shared
+// with the chunked streaming reader/writer in trace_file.hpp. This header is
+// the whole-buffer convenience surface.
 #pragma once
 
 #include <cstdint>

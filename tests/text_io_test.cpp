@@ -1,6 +1,8 @@
 // Tests for the human-readable trace format.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "eval/workloads.hpp"
 #include "trace/text_io.hpp"
 #include "trace/trace_io.hpp"
@@ -104,6 +106,23 @@ TEST(TextIO, RejectsMalformedInput) {
                std::runtime_error);  // unknown name
   EXPECT_THROW(traceFromText("ranks 1\nstring 0 x\nrank 0\n> 0 0 99\n"),
                std::runtime_error);  // unknown op
+  // A second `ranks` directive would let whole-file and chunked parsing
+  // diverge (chunked readers snapshot the count at open): reject it.
+  EXPECT_THROW(traceFromText("ranks 1\nstring 0 x\nrank 0\nB 0 0\nE 1 0\nranks 2\n"),
+               std::runtime_error);
+}
+
+TEST(TextIO, RejectsSparseRankIdsOnWrite) {
+  // Sparse rank ids are legal in TRF1 but inexpressible in text; converting
+  // such a trace must fail loudly, not emit a file the parser rejects.
+  Trace t(1);
+  t.rank(0).rank = 5;
+  EXPECT_THROW(traceToText(t), std::runtime_error);
+  // Duplicate in-range ids are just as bad: the parser would silently merge
+  // the two sections into one rank, round-tripping to a different trace.
+  Trace dup(2);
+  dup.rank(0).rank = 1;
+  EXPECT_THROW(traceToText(dup), std::runtime_error);
 }
 
 TEST(TextIO, ErrorsCarryLineNumbers) {
@@ -113,6 +132,33 @@ TEST(TextIO, ErrorsCarryLineNumbers) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
   }
+}
+
+TEST(TextIO, IncrementalParserYieldsRecordsLineByLine) {
+  TextTraceParser parser;
+  EXPECT_FALSE(parser.feedLine("# tracered text trace v1"));
+  EXPECT_FALSE(parser.feedLine("ranks 2"));
+  EXPECT_EQ(parser.declaredRanks(), 2);
+  EXPECT_FALSE(parser.feedLine("string 0 main.1"));
+  EXPECT_FALSE(parser.feedLine("rank 1"));
+  EXPECT_TRUE(parser.feedLine("B 10 0"));
+  EXPECT_EQ(parser.currentRank(), 1);
+  EXPECT_EQ(parser.record().kind, RecordKind::kSegBegin);
+  EXPECT_EQ(parser.record().time, 10);
+  EXPECT_TRUE(parser.feedLine("E 20 0"));
+  EXPECT_EQ(parser.record().kind, RecordKind::kSegEnd);
+  parser.finish();  // header was seen
+
+  TextTraceParser empty;
+  EXPECT_THROW(empty.finish(), std::runtime_error);  // no 'ranks' header
+}
+
+TEST(TextIO, StreamingWriterMatchesTraceToText) {
+  const Trace trace = sample();
+  std::ostringstream os;
+  writeTextHeader(os, trace.names(), trace.numRanks());
+  for (Rank r = 0; r < trace.numRanks(); ++r) writeTextRank(os, trace.rank(r));
+  EXPECT_EQ(os.str(), traceToText(trace));
 }
 
 }  // namespace

@@ -1,0 +1,327 @@
+// Streaming trace file I/O: chunked reader/writer vs the whole-buffer
+// (de)serializers, format auto-detection, and the bounded-memory guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/reconstruct.hpp"
+#include "core/reduction_session.hpp"
+#include "eval/workloads.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/text_io.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/trace_io.hpp"
+#include "util/bytebuf.hpp"
+
+namespace tracered {
+namespace {
+
+std::string tmpPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+void expectSameTrace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.numRanks(), b.numRanks());
+  for (Rank r = 0; r < a.numRanks(); ++r) {
+    EXPECT_EQ(a.rank(r).rank, b.rank(r).rank);
+    ASSERT_EQ(a.rank(r).records.size(), b.rank(r).records.size());
+    EXPECT_EQ(a.rank(r).records, b.rank(r).records);
+  }
+  ASSERT_EQ(a.names().size(), b.names().size());
+  for (NameId id = 0; id < a.names().size(); ++id)
+    EXPECT_EQ(a.names().name(id), b.names().name(id));
+}
+
+/// Streams `path` through a ReductionSession the way `tracered reduce
+/// --streaming` does and returns the serialized result.
+std::vector<std::uint8_t> reduceStreaming(const std::string& path,
+                                          const core::ReductionConfig& config,
+                                          std::size_t chunkBytes) {
+  TraceFileReader reader(path, chunkBytes);
+  core::ReductionSession session(reader.names(), config);
+  // No manual idle-rank registration: the reader announces every declared
+  // rank through onRank, so this plain wiring must already match offline.
+  reader.streamRecords(
+      [&](Rank rank, const RawRecord& rec) { session.feed(rank, rec); },
+      [&](Rank rank) { session.ensureRank(rank); });
+  return serializeReducedTrace(session.finish().reduced);
+}
+
+// The satellite guarantee: on EVERY registered workload, the rank-at-a-time
+// writer emits exactly serializeFullTrace's bytes, the chunked reader
+// round-trips them exactly, and chunk-fed streaming reduction equals offline
+// reduction of the same file, byte for byte.
+TEST(TraceFile, ChunkedEqualsWholeFileOnEveryWorkload) {
+  eval::WorkloadOptions opts;
+  opts.scale = 0.05;
+  for (const std::string& name : eval::allWorkloads()) {
+    SCOPED_TRACE(name);
+    const Trace trace = eval::runWorkload(name, opts);
+    const std::string path = tmpPath("wf_" + name + ".trf");
+
+    writeTraceFile(path, trace);
+    EXPECT_EQ(readFile(path), serializeFullTrace(trace));
+
+    TraceFileReader reader(path, /*chunkBytes=*/1024);
+    EXPECT_EQ(reader.format(), TraceFileFormat::kFullBinary);
+    EXPECT_EQ(reader.numRanks(), static_cast<std::size_t>(trace.numRanks()));
+    expectSameTrace(reader.readAll(), trace);
+
+    const core::ReductionConfig config = core::ReductionConfig::defaults(
+        name == "dyn_load_balance" ? core::Method::kAvgWave : core::Method::kRelDiff);
+    const auto offline = serializeReducedTrace(
+        core::reduceTrace(segmentTrace(trace), trace.names(), config).reduced);
+    EXPECT_EQ(reduceStreaming(path, config, 512), offline);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceFile, ReaderNeverBuffersTheWholeFile) {
+  eval::WorkloadOptions opts;
+  opts.scale = 1.0;
+  const Trace trace = eval::runWorkload("NtoN_32", opts);
+  const std::string path = tmpPath("bounded.trf");
+  writeTraceFile(path, trace);
+  const std::size_t fileBytes = readFile(path).size();
+  ASSERT_GT(fileBytes, 100u * 1024);  // big enough for the bound to mean something
+
+  TraceFileReader reader(path, /*chunkBytes=*/1024);
+  std::size_t records = 0;
+  reader.streamRecords([&](Rank, const RawRecord&) { ++records; });
+  EXPECT_EQ(records, trace.totalRecords());
+  // At most a few chunks ever resident — nowhere near the file size.
+  EXPECT_LE(reader.maxBufferedBytes(), 8u * 1024);
+  EXPECT_LT(reader.maxBufferedBytes() * 10, fileBytes);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, DetectsAllFormats) {
+  const Trace trace = eval::runWorkload("late_sender", {0.05, 42});
+  const std::string full = tmpPath("detect.trf");
+  const std::string text = tmpPath("detect.txt");
+  const std::string reduced = tmpPath("detect.trr");
+  writeTraceFile(full, trace);
+  writeTraceFile(text, trace, TraceFileFormat::kText);
+  const auto result = core::reduceTrace(segmentTrace(trace), trace.names(),
+                                        core::ReductionConfig::defaults(core::Method::kRelDiff));
+  writeFile(reduced, serializeReducedTrace(result.reduced));
+
+  EXPECT_EQ(detectTraceFile(full), TraceFileFormat::kFullBinary);
+  EXPECT_EQ(detectTraceFile(text), TraceFileFormat::kText);
+  EXPECT_EQ(detectTraceFile(reduced), TraceFileFormat::kReducedBinary);
+
+  const std::string garbage = tmpPath("detect.bin");
+  writeFile(garbage, {0xde, 0xad, 0xbe, 0xef, 0x00});
+  EXPECT_THROW(detectTraceFile(garbage), std::runtime_error);
+  EXPECT_THROW(detectTraceFile(tmpPath("does_not_exist.trf")), std::runtime_error);
+
+  // The streaming reader handles FULL traces; reduced files are rejected at
+  // open with a pointer at the right API.
+  EXPECT_THROW(TraceFileReader{reduced}, std::runtime_error);
+
+  for (const auto& p : {full, text, reduced, garbage}) std::remove(p.c_str());
+}
+
+TEST(TraceFile, TruncatedBinaryThrows) {
+  const Trace trace = eval::runWorkload("late_sender", {0.05, 42});
+  auto bytes = serializeFullTrace(trace);
+  bytes.resize(bytes.size() / 2);
+  const std::string path = tmpPath("trunc.trf");
+  writeFile(path, bytes);
+  TraceFileReader reader(path, 256);
+  EXPECT_ANY_THROW(reader.streamRecords([](Rank, const RawRecord&) {}));
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TextStreamingMatchesTraceFromText) {
+  const Trace trace = eval::runWorkload("late_broadcast", {0.05, 42});
+  const std::string textPath = tmpPath("stream.txt");
+  writeTraceFile(textPath, trace, TraceFileFormat::kText);
+
+  TraceFileReader reader(textPath);
+  EXPECT_EQ(reader.format(), TraceFileFormat::kText);
+  expectSameTrace(reader.readAll(), traceFromText(traceToText(trace)));
+  std::remove(textPath.c_str());
+}
+
+TEST(TraceFile, TextDeclaredButIdleRanksAppear) {
+  const std::string path = tmpPath("idle.txt");
+  {
+    std::ofstream f(path);
+    f << "# tracered text trace v1\nranks 3\nstring 0 main.1\n"
+      << "rank 1\nB 10 0\nE 20 0\n";
+  }
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.numRanks(), 3u);
+  const Trace back = reader.readAll();
+  ASSERT_EQ(back.numRanks(), 3);
+  EXPECT_TRUE(back.rank(0).records.empty());
+  EXPECT_EQ(back.rank(1).records.size(), 2u);
+
+  // Streaming reduction wired straight to feed/ensureRank must include the
+  // idle ranks too — the reader, not the caller, announces the declared set.
+  const auto config = core::ReductionConfig::defaults(core::Method::kRelDiff);
+  const auto streamed = reduceStreaming(path, config, 64);
+  core::ReductionSession offline(back.names(), config);
+  EXPECT_EQ(streamed, serializeReducedTrace(offline.reduce(segmentTrace(back)).reduced));
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TextRevisitedRankSectionsReduceIdentically) {
+  // Sections may revisit a rank; record order per rank is file order, so
+  // streaming reduction still equals offline reduction of the parsed trace.
+  const std::string path = tmpPath("revisit.txt");
+  {
+    std::ofstream f(path);
+    f << "# tracered text trace v1\nranks 2\nstring 0 main.1\nstring 1 do_work\n";
+    f << "rank 0\nB 0 0\n> 1 1 0\n< 9 1\nE 10 0\n";
+    f << "rank 1\nB 0 0\n> 1 1 0\n< 8 1\nE 10 0\n";
+    f << "rank 0\nB 20 0\n> 21 1 0\n< 29 1\nE 30 0\n";
+  }
+  const core::ReductionConfig config = core::ReductionConfig::defaults(core::Method::kRelDiff);
+  const Trace parsed = TraceFileReader(path).readAll();
+  const auto offline = serializeReducedTrace(
+      core::reduceTrace(segmentTrace(parsed), parsed.names(), config).reduced);
+  EXPECT_EQ(reduceStreaming(path, config, 64), offline);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReaderIsSinglePass) {
+  const Trace trace = eval::runWorkload("late_sender", {0.05, 42});
+  const std::string path = tmpPath("once.trf");
+  writeTraceFile(path, trace);
+  TraceFileReader reader(path);
+  reader.streamRecords([](Rank, const RawRecord&) {});
+  EXPECT_THROW(reader.streamRecords([](Rank, const RawRecord&) {}), std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, WriterValidatesRankCount) {
+  const Trace trace = eval::runWorkload("late_sender", {0.05, 42});
+  const std::string path = tmpPath("short.trf");
+  {
+    TraceFileWriter w(path, trace.names(), 2);
+    w.writeRank(trace.rank(0));
+    EXPECT_THROW(w.finish(), std::runtime_error);
+  }
+  {
+    TraceFileWriter w(path, trace.names(), 1);
+    w.writeRank(trace.rank(0));
+    EXPECT_THROW(w.writeRank(trace.rank(1)), std::logic_error);
+  }
+  EXPECT_THROW(TraceFileWriter(path, trace.names(), 1, TraceFileFormat::kReducedBinary),
+               std::invalid_argument);
+  {
+    // Text cannot express non-dense rank ids; the writer must fail at write
+    // time rather than emit a file no reader accepts.
+    TraceFileWriter w(path, trace.names(), 2, TraceFileFormat::kText);
+    RankTrace sparse;
+    sparse.rank = 5;
+    EXPECT_THROW(w.writeRank(sparse), std::runtime_error);
+  }
+  {
+    // Binary sections must have strictly ascending rank ids (the streaming
+    // reader's rule); the writer enforces it at write time too.
+    TraceFileWriter w(path, trace.names(), 2);
+    w.writeRank(trace.rank(1));
+    EXPECT_THROW(w.writeRank(trace.rank(0)), std::runtime_error);
+  }
+  {
+    // ... including the first section: a negative id would be a file the
+    // streaming reader always rejects.
+    TraceFileWriter w(path, trace.names(), 1);
+    RankTrace negative;
+    negative.rank = -1;
+    EXPECT_THROW(w.writeRank(negative), std::runtime_error);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, StreamByteReaderCrossesChunkBoundaries) {
+  ByteWriter w;
+  w.u32(0xdeadbeef);
+  w.uvarint(0x3ffffffffULL);       // multi-byte varint
+  w.svarint(-123456789);
+  w.str("a longer string that certainly spans several one-byte chunks");
+  w.u8(7);
+  std::stringstream ss;
+  ss.write(reinterpret_cast<const char*>(w.bytes().data()),
+           static_cast<std::streamsize>(w.size()));
+
+  StreamByteReader r(ss, /*chunkBytes=*/1);  // force a refill on every byte
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.uvarint(), 0x3ffffffffULL);
+  EXPECT_EQ(r.svarint(), -123456789);
+  EXPECT_EQ(r.str(), "a longer string that certainly spans several one-byte chunks");
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_TRUE(r.atEnd());
+
+  std::stringstream truncated(std::string("\x01", 1));
+  StreamByteReader tr(truncated);
+  EXPECT_EQ(tr.u8(), 1);
+  EXPECT_THROW(tr.u8(), std::out_of_range);
+
+  // A corrupt length prefix decoding to ~2^64 must hit the too-large guard,
+  // not wrap the bounds arithmetic and reach std::string's allocator.
+  ByteWriter hw;
+  hw.uvarint(std::numeric_limits<std::uint64_t>::max());
+  std::stringstream huge(std::string(reinterpret_cast<const char*>(hw.bytes().data()),
+                                     hw.size()));
+  StreamByteReader hr(huge);
+  EXPECT_THROW(hr.str(), std::out_of_range);
+
+  // >= 64 significant bits is malformed per FORMATS.md: a 10th byte carrying
+  // more than bit 63 must be rejected, not silently truncated. Both readers.
+  const std::string overflow("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f", 10);
+  std::stringstream sovf(overflow);
+  StreamByteReader sor(sovf);
+  EXPECT_THROW(sor.uvarint(), std::out_of_range);
+  ByteReader bor(reinterpret_cast<const std::uint8_t*>(overflow.data()), overflow.size());
+  EXPECT_THROW(bor.uvarint(), std::out_of_range);
+  // ...while the max encodable value still round-trips.
+  std::stringstream smax(std::string(reinterpret_cast<const char*>(hw.bytes().data()),
+                                     hw.size()));
+  StreamByteReader smr(smax);
+  EXPECT_EQ(smr.uvarint(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(TraceFile, DesegmentRoundTripsSegmentation) {
+  const Trace trace = eval::runWorkload("dyn_load_balance", {0.05, 42});
+  const SegmentedTrace segmented = segmentTrace(trace);
+  const Trace flat = desegmentTrace(segmented, trace.names());
+  const SegmentedTrace again = segmentTrace(flat);
+  ASSERT_EQ(again.ranks.size(), segmented.ranks.size());
+  for (std::size_t r = 0; r < segmented.ranks.size(); ++r) {
+    EXPECT_EQ(again.ranks[r].rank, segmented.ranks[r].rank);
+    EXPECT_EQ(again.ranks[r].segments, segmented.ranks[r].segments);
+  }
+}
+
+TEST(TraceFile, StatsFromReducedMatchesReductionStats) {
+  const Trace trace = eval::runWorkload("NtoN_32", {0.1, 42});
+  const SegmentedTrace segmented = segmentTrace(trace);
+  for (core::Method m : core::allMethods()) {
+    SCOPED_TRACE(core::methodName(m));
+    const auto result =
+        core::reduceTrace(segmented, trace.names(), core::ReductionConfig::defaults(m));
+    // Round-trip through the file format first: the CLI's eval path only
+    // ever sees the file.
+    const ReducedTrace back = deserializeReducedTrace(serializeReducedTrace(result.reduced));
+    EXPECT_EQ(core::statsFromReduced(back), result.stats);
+  }
+
+  // More stored segments than execs is malformed (every stored segment has
+  // at least its own exec): reject rather than wrap the subtraction.
+  ReducedTrace malformed;
+  RankReduced rr;
+  rr.rank = 0;
+  rr.stored.resize(2);
+  rr.execs.resize(1);
+  malformed.ranks.push_back(std::move(rr));
+  EXPECT_THROW(core::statsFromReduced(malformed), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tracered

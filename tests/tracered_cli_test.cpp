@@ -1,0 +1,175 @@
+// Integration tests that shell out to the built `tracered` binary (path
+// injected by CMake as TRACERED_CLI_PATH): the generate -> reduce
+// --streaming -> info -> eval round trip, byte-identical streaming vs
+// offline output, exit codes on malformed input, and stable --help output.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+#ifndef TRACERED_CLI_PATH
+#error "TRACERED_CLI_PATH must point at the built tracered binary"
+#endif
+
+namespace tracered {
+namespace {
+
+struct CliResult {
+  int exitCode = -1;
+  std::string output;  ///< stdout + stderr, interleaved
+};
+
+CliResult runCli(const std::string& argsLine) {
+  const std::string cmd = std::string(TRACERED_CLI_PATH) + " " + argsLine + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult result;
+  char buf[4096];
+  while (pipe != nullptr && std::fgets(buf, sizeof buf, pipe) != nullptr)
+    result.output += buf;
+  if (pipe != nullptr) {
+    const int status = pclose(pipe);
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return result;
+}
+
+std::string tmpPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+TEST(TraceredCli, HelpListsEverySubcommandAndIsStable) {
+  const CliResult help = runCli("--help");
+  EXPECT_EQ(help.exitCode, 0);
+  for (const char* cmd : {"generate", "reduce", "info", "convert", "eval"})
+    EXPECT_NE(help.output.find(cmd), std::string::npos) << cmd;
+  EXPECT_EQ(runCli("--help").output, help.output);  // deterministic
+
+  const CliResult reduceHelp = runCli("reduce --help");
+  EXPECT_EQ(reduceHelp.exitCode, 0);
+  EXPECT_NE(reduceHelp.output.find("--streaming"), std::string::npos);
+  EXPECT_NE(reduceHelp.output.find("--config"), std::string::npos);
+
+  // Single-dash -h must print the same per-command help, not be taken as an
+  // input-file operand.
+  const CliResult reduceDashH = runCli("reduce -h");
+  EXPECT_EQ(reduceDashH.exitCode, 0);
+  EXPECT_EQ(reduceDashH.output, reduceHelp.output);
+
+  // No arguments: usage error, help on stderr.
+  EXPECT_EQ(runCli("").exitCode, 2);
+}
+
+TEST(TraceredCli, GenerateReduceInfoEvalRoundTrip) {
+  const std::string trf = tmpPath("cli_app.trf");
+  const std::string offline = tmpPath("cli_off.trr");
+  const std::string streamed = tmpPath("cli_str.trr");
+
+  const CliResult gen =
+      runCli("generate NtoN_32 --scale 0.1 --seed 7 --out " + trf);
+  ASSERT_EQ(gen.exitCode, 0) << gen.output;
+
+  const CliResult off =
+      runCli("reduce " + trf + " --config avgWave@0.2 --out " + offline);
+  ASSERT_EQ(off.exitCode, 0) << off.output;
+  // Boolean flag directly before the positional operand: must not swallow it.
+  const CliResult str = runCli("reduce --streaming " + trf +
+                               " --config avgWave@0.2 --threads 2 --out " + streamed);
+  ASSERT_EQ(str.exitCode, 0) << str.output;
+  EXPECT_NE(str.output.find("streaming"), std::string::npos) << str.output;
+  // The acceptance criterion: streaming output byte-identical to offline.
+  EXPECT_EQ(readFile(offline), readFile(streamed));
+
+  const CliResult info = runCli("info " + streamed + " --json");
+  EXPECT_EQ(info.exitCode, 0);
+  EXPECT_NE(info.output.find("\"format\":\"reduced\""), std::string::npos) << info.output;
+
+  const CliResult ev = runCli("eval " + trf + " " + streamed + " --json");
+  EXPECT_EQ(ev.exitCode, 0);
+  EXPECT_NE(ev.output.find("\"degreeOfMatching\""), std::string::npos) << ev.output;
+  EXPECT_NE(ev.output.find("\"verdict\""), std::string::npos) << ev.output;
+
+  for (const auto& p : {trf, offline, streamed}) std::remove(p.c_str());
+}
+
+TEST(TraceredCli, ConvertRoundTripsBinaryThroughText) {
+  const std::string trf = tmpPath("cli_conv.trf");
+  const std::string txt = tmpPath("cli_conv.txt");
+  const std::string back = tmpPath("cli_conv2.trf");
+  ASSERT_EQ(runCli("generate late_sender --scale 0.1 --out " + trf).exitCode, 0);
+  ASSERT_EQ(runCli("convert " + trf + " --format text --out " + txt).exitCode, 0);
+  ASSERT_EQ(runCli("convert " + txt + " --format binary --out " + back).exitCode, 0);
+  EXPECT_EQ(readFile(trf), readFile(back));
+  for (const auto& p : {trf, txt, back}) std::remove(p.c_str());
+}
+
+TEST(TraceredCli, ExitCodesDistinguishUsageFromRuntimeErrors) {
+  // Unknown subcommand and unknown flag: usage errors (2), with suggestions.
+  const CliResult badCmd = runCli("reduec foo.trf");
+  EXPECT_EQ(badCmd.exitCode, 2);
+  EXPECT_NE(badCmd.output.find("did you mean 'reduce'"), std::string::npos);
+
+  const CliResult badFlag = runCli("reduce foo.trf --confg avgWave");
+  EXPECT_EQ(badFlag.exitCode, 2);
+  EXPECT_NE(badFlag.output.find("did you mean --config"), std::string::npos);
+
+  EXPECT_EQ(runCli("reduce").exitCode, 2);                      // missing operand
+  EXPECT_EQ(runCli("generate nope --out x.trf").exitCode, 2);   // unknown workload
+
+  // A typo'd method spec is an unparseable flag value: usage error, not 1.
+  const CliResult badConfig = runCli("reduce foo.trf --config bogus");
+  EXPECT_EQ(badConfig.exitCode, 2);
+  EXPECT_NE(badConfig.output.find("unknown method 'bogus'"), std::string::npos);
+
+  // So is a non-numeric value for a numeric flag — never silently 0.
+  const CliResult badThreads = runCli("reduce foo.trf --threads abc");
+  EXPECT_EQ(badThreads.exitCode, 2);
+  EXPECT_NE(badThreads.output.find("bad --threads value"), std::string::npos);
+
+  // A value-taking flag with no value — trailing or followed by another
+  // flag — must be rejected rather than silently treated as the boolean
+  // "true" (which would write a file named true).
+  const CliResult trailingOut = runCli("reduce foo.trf --out");
+  EXPECT_EQ(trailingOut.exitCode, 2);
+  EXPECT_NE(trailingOut.output.find("requires a value"), std::string::npos);
+  const CliResult outThenFlag = runCli("reduce foo.trf --out --streaming");
+  EXPECT_EQ(outThenFlag.exitCode, 2);
+  EXPECT_NE(outThenFlag.output.find("requires a value"), std::string::npos);
+
+  // Runtime failures (1): missing and malformed input files.
+  EXPECT_EQ(runCli("info " + tmpPath("cli_absent.trf")).exitCode, 1);
+  const std::string garbage = tmpPath("cli_garbage.trf");
+  writeFile(garbage, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(runCli("info " + garbage).exitCode, 1);
+  EXPECT_EQ(runCli("reduce " + garbage + " --streaming").exitCode, 1);
+  std::remove(garbage.c_str());
+}
+
+TEST(TraceredCli, InfoReportsIdleRanks) {
+  const std::string txt = tmpPath("cli_idle.txt");
+  {
+    FILE* f = std::fopen(txt.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# tracered text trace v1\nranks 3\nstring 0 main.1\nrank 1\nB 10 0\nE 20 0\n",
+               f);
+    std::fclose(f);
+  }
+  const CliResult info = runCli("info " + txt);
+  EXPECT_EQ(info.exitCode, 0);
+  EXPECT_NE(info.output.find("idle ranks"), std::string::npos);
+  EXPECT_NE(info.output.find("2"), std::string::npos);
+  std::remove(txt.c_str());
+}
+
+TEST(TraceredCli, GenerateListsWorkloads) {
+  const CliResult list = runCli("generate --list");
+  EXPECT_EQ(list.exitCode, 0);
+  for (const char* w : {"late_sender", "dyn_load_balance", "sweep3d_32p"})
+    EXPECT_NE(list.output.find(w), std::string::npos) << w;
+}
+
+}  // namespace
+}  // namespace tracered

@@ -234,5 +234,123 @@ TEST(Cli, Defaults) {
   EXPECT_EQ(args.get("z", "dflt"), "dflt");
 }
 
+TEST(Cli, MalformedNumericValuesAreUsageErrors) {
+  // A typo'd numeric value must never be silently read as 0.
+  const char* argv[] = {"prog", "--threads", "abc", "--scale", "1.5x"};
+  CliArgs args(5, argv);
+  EXPECT_THROW(args.getInt("threads", 0), UsageError);
+  EXPECT_THROW(args.getDouble("scale", 1.0), UsageError);
+  const char* ok[] = {"prog", "--threads", "4", "--scale", "0.25"};
+  CliArgs okArgs(5, ok);
+  EXPECT_EQ(okArgs.getInt("threads", 0), 4);
+  EXPECT_DOUBLE_EQ(okArgs.getDouble("scale", 1.0), 0.25);
+  // ... nor silently saturated on overflow.
+  const char* huge[] = {"prog", "--threads", "99999999999999999999", "--scale", "1e999"};
+  CliArgs hugeArgs(5, huge);
+  EXPECT_THROW(hugeArgs.getInt("threads", 0), UsageError);
+  EXPECT_THROW(hugeArgs.getDouble("scale", 1.0), UsageError);
+}
+
+TEST(Cli, DeclaredBooleanFlagsConsumeExplicitBoolWords) {
+  // `--csv false` must mean false, while `--streaming app.trf` keeps the
+  // file positional.
+  const char* argv[] = {"prog", "--csv", "false", "--streaming", "app.trf"};
+  CliArgs args(5, argv, /*booleanFlags=*/{"csv", "streaming"});
+  EXPECT_FALSE(args.getBool("csv", true));
+  EXPECT_TRUE(args.getBool("streaming"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "app.trf");
+}
+
+TEST(Cli, DeclaredBooleanFlagsDoNotSwallowOperands) {
+  const char* argv[] = {"prog", "--streaming", "app.trf", "--out", "x.trr"};
+  CliArgs args(5, argv, /*booleanFlags=*/{"streaming"});
+  EXPECT_TRUE(args.getBool("streaming"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "app.trf");
+  EXPECT_EQ(args.get("out"), "x.trr");
+  // The explicit `=` form still overrides a boolean.
+  const char* argv2[] = {"prog", "--streaming=false"};
+  EXPECT_FALSE(CliArgs(2, argv2, {"streaming"}).getBool("streaming", true));
+}
+
+TEST(Cli, EditDistance) {
+  EXPECT_EQ(editDistance("", ""), 0u);
+  EXPECT_EQ(editDistance("abc", "abc"), 0u);
+  EXPECT_EQ(editDistance("abc", ""), 3u);
+  EXPECT_EQ(editDistance("", "xy"), 2u);
+  EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(editDistance("confg", "config"), 1u);
+  EXPECT_EQ(editDistance("scale", "seed"), 4u);
+}
+
+TEST(Cli, NearestCandidateBoundsTheDistance) {
+  const std::vector<std::string> known = {"scale", "seed", "csv", "threads"};
+  EXPECT_EQ(nearestCandidate("sclae", known), "scale");
+  EXPECT_EQ(nearestCandidate("thread", known), "threads");
+  EXPECT_EQ(nearestCandidate("zzzzzzzz", known), "");  // nothing plausibly close
+}
+
+TEST(Cli, UnknownFlagErrorsSuggestNearestFlag) {
+  const char* argv[] = {"prog", "--sclae", "2", "--csv"};
+  CliArgs args(4, argv);
+  EXPECT_TRUE(args.unknownFlagErrors({"scale", "csv"}).empty() == false);
+  const auto errors = args.unknownFlagErrors({"scale", "csv"});
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("--sclae"), std::string::npos);
+  EXPECT_NE(errors[0].find("did you mean --scale?"), std::string::npos);
+  EXPECT_TRUE(args.unknownFlagErrors({"sclae", "csv"}).empty());
+}
+
+TEST(Cli, AppGeneratesHelpAndDispatches) {
+  CliApp app("tool", "does things");
+  int ran = 0;
+  CliCommand cmd;
+  cmd.name = "frob";
+  cmd.usage = "frob <x> [flags]";
+  cmd.summary = "frobnicates";
+  cmd.flags = {{"level", "<n>", "how hard (default 1)"}, {"dry-run", "", "no writes"}};
+  cmd.run = [&](const CliArgs& args) {
+    ran = static_cast<int>(args.getInt("level", 1));
+    return 0;
+  };
+  app.add(cmd);
+
+  EXPECT_NE(app.help().find("frob"), std::string::npos);
+  EXPECT_NE(app.help().find("frobnicates"), std::string::npos);
+  EXPECT_NE(app.help(cmd).find("--level <n>"), std::string::npos);
+  EXPECT_NE(app.help(cmd).find("--dry-run"), std::string::npos);
+
+  const char* ok[] = {"tool", "frob", "--level", "3"};
+  EXPECT_EQ(app.main(4, ok), 0);
+  EXPECT_EQ(ran, 3);
+
+  const char* badFlag[] = {"tool", "frob", "--levle", "3"};
+  EXPECT_EQ(app.main(4, badFlag), 2);
+  const char* badCmd[] = {"tool", "forb"};
+  EXPECT_EQ(app.main(2, badCmd), 2);
+  const char* usageErr[] = {"tool", "frob", "--boom"};
+  EXPECT_EQ(app.main(3, usageErr), 2);
+}
+
+TEST(Cli, AppMapsExceptionsToExitCodes) {
+  CliApp app("tool", "does things");
+  CliCommand usage;
+  usage.name = "u";
+  usage.summary = "throws UsageError";
+  usage.run = [](const CliArgs&) -> int { throw UsageError("missing operand"); };
+  app.add(usage);
+  CliCommand runtime;
+  runtime.name = "r";
+  runtime.summary = "throws runtime_error";
+  runtime.run = [](const CliArgs&) -> int { throw std::runtime_error("boom"); };
+  app.add(runtime);
+
+  const char* u[] = {"tool", "u"};
+  EXPECT_EQ(app.main(2, u), 2);
+  const char* r[] = {"tool", "r"};
+  EXPECT_EQ(app.main(2, r), 1);
+}
+
 }  // namespace
 }  // namespace tracered

@@ -1,0 +1,41 @@
+// The five tracered subcommands plus the small helpers they share.
+//
+// Each commands_*.cpp defines one CliCommand factory: flag metadata (which
+// doubles as the known-flag set for did-you-mean typo reports) plus the
+// handler. tracered_main.cpp registers them with a CliApp. Handlers signal
+// bad invocations with UsageError (exit 2) and let file/format/runtime
+// errors propagate as ordinary exceptions (exit 1); docs/CLI.md is the
+// man-page-style reference for all of them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "trace/trace_file.hpp"
+#include "util/cli.hpp"
+
+namespace tracered::tools {
+
+CliCommand makeGenerateCommand();
+CliCommand makeReduceCommand();
+CliCommand makeInfoCommand();
+CliCommand makeConvertCommand();
+CliCommand makeEvalCommand();
+
+/// Positional argument `index`, or UsageError naming the missing operand.
+std::string requirePositional(const CliArgs& args, std::size_t index, const char* what);
+
+/// The --out flag's value, or UsageError.
+std::string requireOut(const CliArgs& args);
+
+/// Parses a --format value: "binary" -> kFullBinary, "text" -> kText;
+/// UsageError otherwise.
+TraceFileFormat parseFormatFlag(const std::string& value);
+
+/// On-disk size of `path` in bytes; throws std::runtime_error if absent.
+std::size_t fileSizeBytes(const std::string& path);
+
+/// Escapes `s` for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string& s);
+
+}  // namespace tracered::tools

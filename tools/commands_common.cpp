@@ -1,0 +1,64 @@
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "commands.hpp"
+
+namespace tracered::tools {
+
+std::string requirePositional(const CliArgs& args, std::size_t index, const char* what) {
+  if (index >= args.positional().size())
+    throw UsageError(std::string("missing operand: ") + what);
+  return args.positional()[index];
+}
+
+std::string requireOut(const CliArgs& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) throw UsageError("missing required flag --out <file>");
+  return out;
+}
+
+TraceFileFormat parseFormatFlag(const std::string& value) {
+  if (value == "binary") return TraceFileFormat::kFullBinary;
+  if (value == "text") return TraceFileFormat::kText;
+  throw UsageError("bad --format '" + value + "' (expected 'binary' or 'text')");
+}
+
+std::size_t fileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("cannot stat " + path + ": " + ec.message());
+  return static_cast<std::size_t>(size);
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tracered::tools

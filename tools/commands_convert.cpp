@@ -1,0 +1,60 @@
+// tracered convert — translate between the on-disk trace representations:
+// full binary <-> text, and (with --reconstruct) reduced -> approximated
+// full trace (replaying each segment execution's representative, Sec. 4.3.3).
+#include <cstdio>
+
+#include "commands.hpp"
+
+#include "core/reconstruct.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace tracered::tools {
+
+namespace {
+
+int runConvert(const CliArgs& args) {
+  const std::string input = requirePositional(args, 0, "<input trace file>");
+  const std::string out = requireOut(args);
+  const TraceFileFormat outFormat = parseFormatFlag(args.get("format", "binary"));
+  const bool reconstruct = args.getBool("reconstruct");
+  const TraceFileFormat inFormat = detectTraceFile(input);
+
+  if (inFormat == TraceFileFormat::kReducedBinary) {
+    if (!reconstruct)
+      throw UsageError(
+          "input is a reduced trace; pass --reconstruct to expand it into an "
+          "approximated full trace (the full-trace formats cannot hold it as-is)");
+    const ReducedTrace reduced = deserializeReducedTrace(readFile(input));
+    const Trace approx = desegmentTrace(core::reconstruct(reduced), reduced.names);
+    writeTraceFile(out, approx, outFormat);
+  } else {
+    if (reconstruct)
+      throw UsageError("--reconstruct expects a reduced (TRR1) input, not a full trace");
+    TraceFileReader reader(input);
+    writeTraceFile(out, reader.readAll(), outFormat);
+  }
+  std::printf("wrote %s (%s, %s)\n", out.c_str(), formatName(outFormat),
+              fmtBytes(fileSizeBytes(out)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+CliCommand makeConvertCommand() {
+  CliCommand c;
+  c.name = "convert";
+  c.usage = "convert <input> --out <file> [--format binary|text] [--reconstruct]";
+  c.summary = "convert text<->binary, or reduced->approximated full (--reconstruct)";
+  c.flags = {
+      {"out", "<file>", "output file (required)"},
+      {"format", "binary|text", "output full-trace format (default: binary TRF1)"},
+      {"reconstruct", "",
+       "expand a reduced input into the approximated full trace it stands for"},
+  };
+  c.run = runConvert;
+  return c;
+}
+
+}  // namespace tracered::tools

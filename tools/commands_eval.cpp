@@ -1,0 +1,120 @@
+// tracered eval — the paper's evaluation criteria (Sec. 4.3) between two
+// trace files: retained size, degree of matching, approximation distance,
+// and retention of performance trends, as a table or one JSON object.
+//
+// The first operand is the original full trace; the second is either a
+// reduced (TRR1) file produced from it — the usual case — or another full
+// trace that stands for an approximation (e.g. the output of
+// `convert --reconstruct`), which gets the size/distance/trend criteria but
+// no matching stats (a full trace records no match table).
+#include <cstdio>
+#include <string>
+
+#include "commands.hpp"
+
+#include "analysis/severity.hpp"
+#include "core/reconstruct.hpp"
+#include "eval/evaluation.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace tracered::tools {
+
+namespace {
+
+int runEval(const CliArgs& args) {
+  const std::string fullPath = requirePositional(args, 0, "<full trace>");
+  const std::string candidatePath = requirePositional(args, 1, "<reduced trace>");
+  const bool json = args.getBool("json");
+  const double percentile = args.getDouble("percentile", 90.0);
+  if (!(percentile > 0.0) || percentile > 100.0)
+    throw UsageError("bad --percentile (expected a value in (0, 100])");
+
+  TraceFileReader fullReader(fullPath);
+  const eval::PreparedTrace prepared = eval::prepare(fullReader.readAll());
+
+  eval::MethodEvaluation ev;
+  bool haveMatching = false;
+  if (detectTraceFile(candidatePath) == TraceFileFormat::kReducedBinary) {
+    const ReducedTrace reduced = deserializeReducedTrace(readFile(candidatePath));
+    ev = eval::evaluateReduction(prepared, reduced, core::statsFromReduced(reduced),
+                                 percentile);
+    haveMatching = true;
+  } else {
+    TraceFileReader candidateReader(candidatePath);
+    const Trace candidate = candidateReader.readAll();
+    const SegmentedTrace candidateSeg = segmentTrace(candidate);
+    ev.fullBytes = prepared.fullBytes;
+    ev.reducedBytes = fullTraceSize(candidate);
+    ev.filePct = 100.0 * static_cast<double>(ev.reducedBytes) /
+                 static_cast<double>(ev.fullBytes);
+    ev.totalSegments = candidateSeg.totalSegments();
+    ev.storedSegments = ev.totalSegments;
+    ev.approxDistanceUs =
+        eval::approximationDistance(prepared.segmented, candidateSeg, percentile);
+    ev.reducedCube = analysis::analyze(candidateSeg);
+    ev.trends = analysis::compareTrends(prepared.fullCube, ev.reducedCube);
+  }
+
+  const std::string callsite = ev.trends.dominantCallsite == kInvalidName
+                                   ? "-"
+                                   : prepared.trace.names().name(ev.trends.dominantCallsite);
+  if (json) {
+    std::printf("{\"fullBytes\":%zu,\"reducedBytes\":%zu,\"filePct\":%.4f,", ev.fullBytes,
+                ev.reducedBytes, ev.filePct);
+    if (haveMatching)
+      std::printf("\"degreeOfMatching\":%.6f,\"storedSegments\":%zu,", ev.degreeOfMatching,
+                  ev.storedSegments);
+    std::printf(
+        "\"totalSegments\":%zu,\"approxDistanceUs\":%.3f,\"percentile\":%.1f,"
+        "\"verdict\":\"%s\",\"reason\":\"%s\",\"dominantMetric\":\"%s\","
+        "\"dominantCallsite\":\"%s\",\"severityFullUs\":%.3f,\"severityReducedUs\":%.3f,"
+        "\"correlation\":%.6f}\n",
+        ev.totalSegments, ev.approxDistanceUs, percentile,
+        analysis::verdictName(ev.trends.verdict), jsonEscape(ev.trends.reason).c_str(),
+        analysis::metricName(ev.trends.dominantMetric), jsonEscape(callsite).c_str(),
+        ev.trends.fullTotal, ev.trends.reducedTotal, ev.trends.correlation);
+    return 0;
+  }
+
+  TextTable t;
+  t.header({"criterion", "value"});
+  t.row({"full trace", fullPath + " (" + fmtBytes(ev.fullBytes) + ")"});
+  t.row({"reduced trace", candidatePath + " (" + fmtBytes(ev.reducedBytes) + ")"});
+  t.row({"file size", fmtPct(ev.filePct)});
+  if (haveMatching) {
+    t.row({"degree of matching", fmtF(ev.degreeOfMatching, 3)});
+    t.row({"stored / total segments", std::to_string(ev.storedSegments) + " / " +
+                                          std::to_string(ev.totalSegments)});
+  } else {
+    t.row({"segments", std::to_string(ev.totalSegments)});
+  }
+  t.row({"p" + fmtF(percentile, 0) + " |Δt|", fmtF(ev.approxDistanceUs, 1) + " µs"});
+  t.row({"trend verdict", analysis::verdictName(ev.trends.verdict)});
+  t.row({"  reason", ev.trends.reason});
+  t.row({"  dominant diagnosis", std::string(analysis::metricName(ev.trends.dominantMetric)) +
+                                     " @ " + callsite});
+  t.row({"  severity full/reduced", fmtF(ev.trends.fullTotal / 1e6, 3) + " s / " +
+                                        fmtF(ev.trends.reducedTotal / 1e6, 3) + " s"});
+  t.row({"  profile correlation", fmtF(ev.trends.correlation, 3)});
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+CliCommand makeEvalCommand() {
+  CliCommand c;
+  c.name = "eval";
+  c.usage = "eval <full> <reduced> [--json] [--percentile <p>]";
+  c.summary = "score a reduction against its full trace (Sec. 4.3 criteria)";
+  c.flags = {
+      {"json", "", "emit one JSON object instead of a table"},
+      {"percentile", "<p>", "approximation-distance percentile (default 90)"},
+  };
+  c.run = runEval;
+  return c;
+}
+
+}  // namespace tracered::tools

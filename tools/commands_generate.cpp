@@ -1,0 +1,64 @@
+// tracered generate — run a registered eval/ workload and write its full
+// trace to a file (the front of every CLI pipeline; see docs/CLI.md).
+#include <cstdio>
+
+#include "commands.hpp"
+
+#include "eval/workloads.hpp"
+#include "util/table.hpp"
+
+namespace tracered::tools {
+
+namespace {
+
+int runGenerate(const CliArgs& args) {
+  if (args.getBool("list")) {
+    for (const auto& name : eval::allWorkloads()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  const std::string workload = requirePositional(args, 0, "<workload> (try --list)");
+  const std::string out = requireOut(args);
+  const TraceFileFormat format = parseFormatFlag(args.get("format", "binary"));
+
+  eval::WorkloadOptions opts;
+  opts.scale = args.getDouble("scale", 1.0);
+  opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+
+  // runWorkload throws std::invalid_argument listing nothing useful for
+  // typos; add the registry like the unknown-flag path does.
+  bool known = false;
+  for (const auto& name : eval::allWorkloads()) known = known || name == workload;
+  if (!known) {
+    std::string msg = "unknown workload '" + workload + "'";
+    const std::string suggestion = nearestCandidate(workload, eval::allWorkloads());
+    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+    throw UsageError(msg + "; run 'tracered generate --list'");
+  }
+
+  const Trace trace = eval::runWorkload(workload, opts);
+  writeTraceFile(out, trace, format);
+  std::printf("wrote %s: %s, %d ranks, %zu records, %s (%s)\n", out.c_str(),
+              workload.c_str(), trace.numRanks(), trace.totalRecords(),
+              fmtBytes(fileSizeBytes(out)).c_str(), formatName(format));
+  return 0;
+}
+
+}  // namespace
+
+CliCommand makeGenerateCommand() {
+  CliCommand c;
+  c.name = "generate";
+  c.usage = "generate <workload> --out <file> [flags]";
+  c.summary = "run a registered workload and write its full trace to a file";
+  c.flags = {
+      {"out", "<file>", "output trace file (required)"},
+      {"format", "binary|text", "output format (default: binary TRF1)"},
+      {"scale", "<f>", "iteration-count multiplier (default 1.0 = paper-size run)"},
+      {"seed", "<n>", "workload RNG seed (default 42)"},
+      {"list", "", "list the registered workload names and exit"},
+  };
+  c.run = runGenerate;
+  return c;
+}
+
+}  // namespace tracered::tools

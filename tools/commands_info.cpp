@@ -1,0 +1,116 @@
+// tracered info — one-screen summary of any trace file: format, ranks,
+// records/segments (full traces, counted through the chunked reader without
+// materializing the trace) or stored/exec tables (reduced traces), names,
+// time span, on-disk size.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "commands.hpp"
+
+#include "core/reconstruct.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace tracered::tools {
+
+namespace {
+
+int runInfo(const CliArgs& args) {
+  const std::string input = requirePositional(args, 0, "<trace file>");
+  const bool json = args.getBool("json");
+  const TraceFileFormat format = detectTraceFile(input);
+  const std::size_t bytes = fileSizeBytes(input);
+
+  if (format == TraceFileFormat::kReducedBinary) {
+    const ReducedTrace reduced = deserializeReducedTrace(readFile(input));
+    const core::ReductionStats stats = core::statsFromReduced(reduced);
+    if (json) {
+      std::printf(
+          "{\"file\":\"%s\",\"format\":\"reduced\",\"bytes\":%zu,\"ranks\":%zu,"
+          "\"storedSegments\":%zu,\"segmentExecs\":%zu,\"names\":%zu,"
+          "\"degreeOfMatching\":%.6f}\n",
+          jsonEscape(input).c_str(), bytes, reduced.ranks.size(), reduced.totalStored(),
+          reduced.totalExecs(), reduced.names.size(), stats.degreeOfMatching());
+      return 0;
+    }
+    TextTable t;
+    t.header({"property", "value"});
+    t.row({"file", input});
+    t.row({"format", formatName(format)});
+    t.row({"size", fmtBytes(bytes)});
+    t.row({"ranks", std::to_string(reduced.ranks.size())});
+    t.row({"stored segments", std::to_string(reduced.totalStored())});
+    t.row({"segment execs", std::to_string(reduced.totalExecs())});
+    t.row({"names", std::to_string(reduced.names.size())});
+    t.row({"degree of matching", fmtF(stats.degreeOfMatching(), 3)});
+    std::printf("%s", t.str().c_str());
+    return 0;
+  }
+
+  // Full trace (binary or text): single streaming pass, bounded memory.
+  TraceFileReader reader(input);
+  std::size_t records = 0, segments = 0, events = 0;
+  std::set<Rank> ranksWithRecords;
+  TimeUs minTime = 0, maxTime = 0;
+  bool any = false;
+  reader.streamRecords([&](Rank rank, const RawRecord& rec) {
+    ++records;
+    ranksWithRecords.insert(rank);
+    if (rec.kind == RecordKind::kSegBegin) ++segments;
+    if (rec.kind == RecordKind::kEnter) ++events;
+    if (!any) {
+      minTime = maxTime = rec.time;
+      any = true;
+    } else {
+      minTime = std::min(minTime, rec.time);
+      maxTime = std::max(maxTime, rec.time);
+    }
+  });
+  const TimeUs spanUs = any ? maxTime - minTime : 0;
+  // Declared ranks that emitted nothing — onRank announces every declared
+  // rank (including idle ones), so idleness is defined by record counts.
+  const std::size_t idleRanks = reader.numRanks() - ranksWithRecords.size();
+
+  if (json) {
+    std::printf(
+        "{\"file\":\"%s\",\"format\":\"%s\",\"bytes\":%zu,\"ranks\":%zu,"
+        "\"records\":%zu,\"segments\":%zu,\"events\":%zu,\"names\":%zu,"
+        "\"spanUs\":%lld}\n",
+        jsonEscape(input).c_str(),
+        reader.format() == TraceFileFormat::kText ? "text" : "full", bytes,
+        reader.numRanks(), records, segments, events, reader.names().size(),
+        static_cast<long long>(spanUs));
+    return 0;
+  }
+  TextTable t;
+  t.header({"property", "value"});
+  t.row({"file", input});
+  t.row({"format", formatName(reader.format())});
+  t.row({"size", fmtBytes(bytes)});
+  t.row({"ranks", std::to_string(reader.numRanks())});
+  if (idleRanks > 0) t.row({"idle ranks", std::to_string(idleRanks)});
+  t.row({"records", std::to_string(records)});
+  t.row({"segments", std::to_string(segments)});
+  t.row({"events", std::to_string(events)});
+  t.row({"names", std::to_string(reader.names().size())});
+  t.row({"time span", fmtF(static_cast<double>(spanUs) / 1e6, 3) + " s"});
+  std::printf("%s", t.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+CliCommand makeInfoCommand() {
+  CliCommand c;
+  c.name = "info";
+  c.usage = "info <file> [--json]";
+  c.summary = "summarize a trace file (ranks/records/segments/size)";
+  c.flags = {
+      {"json", "", "emit one JSON object instead of a table"},
+  };
+  c.run = runInfo;
+  return c;
+}
+
+}  // namespace tracered::tools

@@ -1,0 +1,26 @@
+// tracered — the command-line front door over the whole pipeline:
+//
+//   tracered generate NtoN_32 --out app.trf      # eval/ workload -> file
+//   tracered reduce app.trf --config avgWave@0.2 --streaming --out app.trr
+//   tracered info app.trr
+//   tracered eval app.trf app.trr --json         # Sec. 4.3 criteria
+//   tracered convert app.trr --reconstruct --out approx.trf
+//
+// docs/CLI.md is the reference (every cookbook block there runs in CI
+// against this binary); docs/FORMATS.md specifies the file formats.
+#include "commands.hpp"
+
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tracered;
+  CliApp app("tracered",
+             "similarity-based trace reduction over trace files (Mohror & "
+             "Karavanic, SC 2009)");
+  app.add(tools::makeGenerateCommand());
+  app.add(tools::makeReduceCommand());
+  app.add(tools::makeInfoCommand());
+  app.add(tools::makeConvertCommand());
+  app.add(tools::makeEvalCommand());
+  return app.main(argc, argv);
+}
