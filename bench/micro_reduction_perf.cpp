@@ -4,18 +4,34 @@
 // paper's methods differ not only in quality but also in the work an online
 // reducer would do per segment.
 //
-// The custom main() additionally runs a rank-scaling study (sweep3d_32p,
-// 32 ranks, every method: serial, per-call-pool sharding, and sharding
-// through one shared PooledExecutor — the pooled column shows what pool
-// reuse buys over paying spawn/join per call) on plain invocations or with
-// --rank-scaling, printing one machine-readable JSON line per configuration
-// to stdout before the google-benchmark output, so successive PRs can
-// append to a perf trajectory:
-//   {"bench":"rank_scaling","workload":"sweep3d_32p","method":"relDiff",...}
+// The custom main() additionally runs two JSON studies, printed as one
+// machine-readable line per configuration to stdout before the
+// google-benchmark output, so successive PRs can append to a perf
+// trajectory:
+//
+//   * rank-scaling (plain invocation or --rank-scaling): sweep3d_32p,
+//     32 ranks, every method: serial, per-call-pool sharding, and sharding
+//     through one shared PooledExecutor — the pooled column shows what pool
+//     reuse buys over paying spawn/join per call.
+//       {"bench":"rank_scaling","workload":"sweep3d_32p","method":...}
+//   * matching (plain invocation or --matching, also written to
+//     BENCH_matching.json / --matching-out): every method, the literal
+//     uncached Sec. 3.1 loop (setAcceleration(false); note avg/haarWave's
+//     stored-side coefficient cache predates the shared FeatureCache, so
+//     their ms_base is stricter than the historical code) versus the
+//     feature-cached + norm-pruned fast path, verifying bit-identical
+//     output and reporting the hot-loop instrumentation:
+//       {"bench":"matching","method":...,"ms_base":...,"ms_cached":...,
+//        "speedup_cached":...,"comparisons":...,"pruned":...,"prune_rate":...}
+//     --small swaps the 32-rank fixture for the small one (the ctest / CI
+//     smoke configuration); a baseline-vs-cached mismatch exits nonzero.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
 #include <string_view>
 
 #include "core/methods.hpp"
@@ -195,6 +211,97 @@ void runRankScalingStudy() {
   std::fflush(stdout);
 }
 
+/// Best-of-`reps` wall clock of `run`; the last run's result lands in *last.
+double bestMillisOf(int reps, const std::function<core::ReductionResult()>& run,
+                    core::ReductionResult* last) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ReductionResult res = run();
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(res.stats.matches);
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+    if (last != nullptr && r == reps - 1) *last = std::move(res);
+  }
+  return best;
+}
+
+bool sameReduction(const core::ReductionResult& a, const core::ReductionResult& b) {
+  return a.stats == b.stats && a.reduced.ranks == b.reduced.ranks;
+}
+
+/// The matching study: baseline (uncached Sec. 3.1 loop) vs the
+/// feature-cached + norm-pruned fast path, per method, verifying
+/// bit-identity. One JSON line per method to stdout AND `outPath` — the
+/// BENCH_matching.json perf trajectory. Returns false on an identity
+/// mismatch (which would mean the fast path changed semantics).
+bool runMatchingStudy(bool small, const char* outPath, int reps) {
+  const Trace& trace = small ? fix().trace : wide().trace;
+  const SegmentedTrace& segmented = small ? fix().segmented : wide().segmented;
+  const char* workload = small ? "late_sender" : "sweep3d_32p";
+
+  // An unwritable cwd only loses the archived copy — the study (and its
+  // identity verdict, the reason this function can fail) still runs and
+  // prints to stdout.
+  FILE* out = std::fopen(outPath, "w");
+  if (out == nullptr)
+    std::fprintf(stderr, "micro_reduction_perf: cannot write %s; printing to stdout only\n",
+                 outPath);
+  auto emit = [&](const char* line) {
+    std::fputs(line, stdout);
+    if (out != nullptr) std::fputs(line, out);
+  };
+
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\"bench\":\"matching\",\"workload\":\"%s\",\"ranks\":%zu,"
+                "\"segments\":%zu,\"reps\":%d}\n",
+                workload, segmented.ranks.size(), segmented.totalSegments(), reps);
+  emit(line);
+
+  bool ok = true;
+  for (core::Method m : core::allMethods()) {
+    core::ReductionResult base, cached;
+    const double msBase = bestMillisOf(
+        reps,
+        [&] {
+          auto policy = core::makeDefaultPolicy(m);
+          policy->setAcceleration(false);
+          return core::reduceTrace(segmented, trace.names(), *policy);
+        },
+        &base);
+    const double msCached = bestMillisOf(
+        reps,
+        [&] {
+          auto policy = core::makeDefaultPolicy(m);
+          return core::reduceTrace(segmented, trace.names(), *policy);
+        },
+        &cached);
+    const bool identical = sameReduction(base, cached);
+    ok = ok && identical;
+    std::snprintf(line, sizeof line,
+                  "{\"bench\":\"matching\",\"workload\":\"%s\",\"method\":\"%s\","
+                  "\"threshold\":%g,\"ms_base\":%.3f,\"ms_cached\":%.3f,"
+                  "\"speedup_cached\":%.3f,\"comparisons\":%zu,\"pruned\":%zu,"
+                  "\"prune_rate\":%.4f,\"stored\":%zu,\"identical\":%s}\n",
+                  workload, core::methodName(m), core::defaultThreshold(m), msBase,
+                  msCached, msCached > 0 ? msBase / msCached : 0.0,
+                  cached.counters.comparisons, cached.counters.pruned,
+                  cached.counters.pruneRate(), cached.stats.storedSegments,
+                  identical ? "true" : "false");
+    emit(line);
+    if (!identical)
+      std::fprintf(stderr,
+                   "micro_reduction_perf: %s: cached result differs from the "
+                   "uncached baseline!\n",
+                   core::methodName(m));
+  }
+  if (out != nullptr) std::fclose(out);
+  std::fflush(stdout);
+  return ok;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Reduce, relDiff, tracered::core::Method::kRelDiff);
@@ -219,18 +326,38 @@ BENCHMARK(BM_SerializeFull);
 BENCHMARK(BM_WaveletTransform)->Arg(8)->Arg(64)->Arg(512);
 
 int main(int argc, char** argv) {
-  // The study runs on a plain invocation or with --rank-scaling; benchmark
-  // tooling passing --benchmark_* flags gets an unpolluted stdout stream.
-  bool study = argc == 1;
+  // The studies run on a plain invocation or with --rank-scaling /
+  // --matching; benchmark tooling passing --benchmark_* flags gets an
+  // unpolluted stdout stream. --small / --matching-reps / --matching-out
+  // shape the matching study (the ctest + CI smoke step runs
+  // `--matching --small --matching-reps 1`).
+  bool rankScaling = argc == 1;
+  bool matching = argc == 1;
+  bool small = false;
+  int matchingReps = 3;
+  std::string matchingOut = "BENCH_matching.json";
   int keptArgc = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--rank-scaling")
-      study = true;
-    else
+    const std::string_view arg(argv[i]);
+    if (arg == "--rank-scaling") {
+      rankScaling = true;
+    } else if (arg == "--matching") {
+      matching = true;
+    } else if (arg == "--small") {
+      small = true;
+    } else if (arg == "--matching-reps" && i + 1 < argc) {
+      matchingReps = std::atoi(argv[++i]);
+      if (matchingReps < 1) matchingReps = 1;
+    } else if (arg == "--matching-out" && i + 1 < argc) {
+      matchingOut = argv[++i];
+    } else {
       argv[keptArgc++] = argv[i];
+    }
   }
   argc = keptArgc;
-  if (study) runRankScalingStudy();
+  if (rankScaling) runRankScalingStudy();
+  if (matching && !runMatchingStudy(small, matchingOut.c_str(), matchingReps))
+    return 1;
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -18,6 +18,7 @@ MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
   policy.beginRank();  // one synthetic "rank" holding the shared store
   SegmentStore shared;
   MergeStats local;
+  const MatchCounters counterBase = policy.matchCounters();
 
   for (std::size_t r = 0; r < reduced.ranks.size(); ++r) {
     const RankReduced& rr = reduced.ranks[r];
@@ -41,6 +42,7 @@ MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
 
   policy.finishRank(shared);
   local.mergedRepresentatives = shared.size();
+  local.counters = policy.matchCounters() - counterBase;
   out.sharedStore = std::move(shared).takeAll();
   if (stats != nullptr) *stats = local;
   return out;

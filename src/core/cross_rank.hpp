@@ -39,6 +39,9 @@ struct MergedReducedTrace {
 struct MergeStats {
   std::size_t inputRepresentatives = 0;
   std::size_t mergedRepresentatives = 0;
+  MatchCounters counters;  ///< Shared-store scans / pre-filter rejections —
+                           ///< the same policy hooks (and the same feature
+                           ///< cache) drive the inter-rank merge.
 
   double mergeRatio() const {
     return inputRepresentatives == 0

@@ -1,6 +1,9 @@
 #include "core/methods.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace tracered::core {
@@ -91,7 +94,30 @@ std::vector<double> studyThresholds(Method m) {
   }
 }
 
+void validateThreshold(Method m, double threshold) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", threshold);
+  if (m == Method::kIterK) {
+    if (threshold >= 1.0 && threshold == std::floor(threshold) &&
+        threshold <= static_cast<double>(std::numeric_limits<int>::max()))
+      return;
+    throw std::invalid_argument(
+        std::string("methods: iter_k's threshold is its k and must be an "
+                    "integer >= 1, got ") +
+        buf);
+  }
+  if (m == Method::kIterAvg) return;  // no threshold; the value is ignored
+  // nan/inf make every similarity comparison vacuously false; negatives
+  // have no interpretation in any of the nine methods.
+  if (!std::isfinite(threshold) || threshold < 0.0)
+    throw std::invalid_argument(std::string("methods: ") + methodName(m) +
+                                " threshold must be a finite, non-negative "
+                                "number, got " +
+                                buf);
+}
+
 std::unique_ptr<SimilarityPolicy> makePolicy(Method m, double threshold) {
+  validateThreshold(m, threshold);
   switch (m) {
     case Method::kRelDiff:
       return std::make_unique<RelDiffPolicy>(threshold);

@@ -51,8 +51,18 @@ double defaultThreshold(Method m);
 /// 1/10/50/100/500/1000 for iter_k, empty for iter_avg.
 std::vector<double> studyThresholds(Method m);
 
+/// Validates `threshold` for `m`, throwing std::invalid_argument naming the
+/// offending value. iter_k's threshold is its k and must be an integer >= 1
+/// representable as int (k <= 0 would record execs against a representative
+/// that was never stored, corrupting reconstruction); the other thresholded
+/// methods require a finite, non-negative threshold (nan/inf/negative make
+/// the ≈ test meaningless); iter_avg ignores its threshold entirely. Shared
+/// by makePolicy and ReductionConfig::fromName so the CLI and the API
+/// reject the same specs.
+void validateThreshold(Method m, double threshold);
+
 /// Instantiates a policy. `threshold` is interpreted per method (k for
-/// iter_k, ignored for iter_avg).
+/// iter_k, ignored for iter_avg); validated via validateThreshold.
 std::unique_ptr<SimilarityPolicy> makePolicy(Method m, double threshold);
 
 /// Policy at the paper's default threshold.

@@ -49,18 +49,33 @@ void OnlineRankReducer::feed(const RawRecord& record) {
       if (pending_) fail(rank_, "segment ends inside an open event");
       if (!current_ || current_->context != record.name)
         fail(rank_, "unmatched segment end '" + names_.name(record.name) + "'");
+      // A segment that ends before it began would flow a negative duration
+      // into reduction and poison every similarity measurement.
+      if (record.time < current_->absStart)
+        fail(rank_, "segment '" + names_.name(record.name) + "' ends at " +
+                        std::to_string(record.time) + "us, before its begin at " +
+                        std::to_string(current_->absStart) + "us");
       closeSegment(record.time);
       break;
     }
     case RecordKind::kEnter: {
       if (!current_) fail(rank_, "event outside any segment");
       if (pending_) fail(rank_, "nested function enter");
+      if (record.time < current_->absStart)
+        fail(rank_, "event '" + names_.name(record.name) + "' enters at " +
+                        std::to_string(record.time) +
+                        "us, before its segment began at " +
+                        std::to_string(current_->absStart) + "us");
       pending_ = record;
       break;
     }
     case RecordKind::kExit: {
       if (!pending_ || pending_->name != record.name)
         fail(rank_, "exit without matching enter '" + names_.name(record.name) + "'");
+      if (record.time < pending_->time)
+        fail(rank_, "event '" + names_.name(record.name) + "' exits at " +
+                        std::to_string(record.time) + "us, before its enter at " +
+                        std::to_string(pending_->time) + "us");
       EventInterval ev;
       ev.name = record.name;
       ev.op = pending_->op;
@@ -130,10 +145,15 @@ ReductionResult OnlineReducer::finish(const ProgressFn& progress) {
       progress);
 
   std::vector<ReductionStats> statsByIndex;
+  std::vector<MatchCounters> countersByIndex;
   statsByIndex.reserve(numRanks);
-  for (const OnlineRankReducer* r : reducers)
+  countersByIndex.reserve(numRanks);
+  for (const OnlineRankReducer* r : reducers) {
     statsByIndex.push_back(r->stats());  // totals set by finish()
-  return assembleReduction(names_, std::move(reducedByIndex), statsByIndex);
+    countersByIndex.push_back(r->counters());
+  }
+  return assembleReduction(names_, std::move(reducedByIndex), statsByIndex,
+                           countersByIndex);
 }
 
 }  // namespace tracered::core

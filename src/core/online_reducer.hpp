@@ -43,7 +43,10 @@ class OnlineRankReducer {
   OnlineRankReducer(Rank rank, const StringTable& names, SimilarityPolicy& policy);
 
   /// Feeds the next raw record. Throws std::runtime_error on malformed
-  /// streams (same diagnostics as the offline segmenter).
+  /// streams (same diagnostics as the offline segmenter), including
+  /// non-monotonic timestamps: a segment end or event exit before its begin,
+  /// or an event enter before its segment began, would flow negative
+  /// durations into reduction and is rejected with rank + record context.
   void feed(const RawRecord& record);
 
   /// Completes the stream: runs the policy's finishRank hook and returns the
@@ -52,6 +55,9 @@ class OnlineRankReducer {
 
   /// Matching statistics so far (totals finalized by finish()).
   const ReductionStats& stats() const { return engine_.stats(); }
+
+  /// Matching-loop instrumentation so far (see RankReductionEngine).
+  MatchCounters counters() const { return engine_.counters(); }
 
   /// Current memory footprint of the retained data (stored segments +
   /// execs), in approximate bytes — the number an online tool would watch

@@ -8,6 +8,7 @@ RankReductionEngine::RankReductionEngine(Rank rank, SimilarityPolicy& policy)
     : policy_(policy) {
   result_.rank = rank;
   policy_.beginRank();
+  counterBase_ = policy_.matchCounters();
 }
 
 void RankReductionEngine::consume(const Segment& seg) {
@@ -16,17 +17,26 @@ void RankReductionEngine::consume(const Segment& seg) {
   ++stats_.totalSegments;
   // Signature groups for the possible-match count. Signatures are hashes;
   // collisions would only perturb the *denominator* of the degree of
-  // matching by a vanishing amount, so a set of hashes suffices here.
-  groups_.insert(seg.signature());
+  // matching by a vanishing amount, so a set of hashes suffices here. The
+  // hash walks the whole event list, so compute it once and share it with
+  // the store's bucket insert (tryMatch's bucket lookup hashes the same
+  // candidate; threading it further through the policy API isn't worth the
+  // interface weight yet).
+  const std::uint64_t sig = seg.signature();
+  groups_.insert(sig);
 
   if (auto matched = policy_.tryMatch(seg, store_)) {
     ++stats_.matches;
     result_.execs.push_back(SegmentExec{*matched, seg.absStart});
   } else {
-    const SegmentId id = store_.add(seg);
+    const SegmentId id = store_.add(seg, sig);
     policy_.onStored(store_.segment(id), id);
     result_.execs.push_back(SegmentExec{id, seg.absStart});
   }
+}
+
+MatchCounters RankReductionEngine::counters() const {
+  return policy_.matchCounters() - counterBase_;
 }
 
 RankReduced RankReductionEngine::finish() {

@@ -73,6 +73,13 @@ class RankReductionEngine {
   /// finalized by finish()).
   const ReductionStats& stats() const { return stats_; }
 
+  /// Matching-loop instrumentation attributable to this rank: the policy's
+  /// cumulative counters minus their value when this engine bound it. Valid
+  /// while the policy is not interleaved with another live engine — the
+  /// serial driver reuses one policy across ranks strictly one engine at a
+  /// time, which is exactly this contract.
+  MatchCounters counters() const;
+
   /// Approximate bytes of retained data (stored segments + execs) — the
   /// number an online tool watches to decide when to spill. Meaningful only
   /// until finish(), which moves the retained data into the result.
@@ -83,6 +90,7 @@ class RankReductionEngine {
   SegmentStore store_;
   RankReduced result_;
   ReductionStats stats_;
+  MatchCounters counterBase_;  ///< Policy counters when this engine bound it.
   std::unordered_set<std::uint64_t> groups_;  ///< Distinct signatures seen.
   bool finished_ = false;
 };

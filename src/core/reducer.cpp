@@ -15,13 +15,19 @@ namespace tracered::core {
 
 namespace {
 
+/// One rank's reduction plus its accounting, as produced by the engine.
+struct RankOutcome {
+  RankReduced reduced;
+  ReductionStats stats;
+  MatchCounters counters;
+};
+
 /// Runs the Sec. 3.1 loop for one rank through the shared engine.
-std::pair<RankReduced, ReductionStats> reduceRank(const RankSegments& rank,
-                                                  SimilarityPolicy& policy) {
+RankOutcome reduceRank(const RankSegments& rank, SimilarityPolicy& policy) {
   RankReductionEngine engine(rank.rank, policy);
   for (const Segment& seg : rank.segments) engine.consume(seg);
   RankReduced reduced = engine.finish();
-  return {std::move(reduced), engine.stats()};
+  return {std::move(reduced), engine.stats(), engine.counters()};
 }
 
 }  // namespace
@@ -62,11 +68,13 @@ void ResolvedExecutor::shard(const std::function<void(std::size_t, std::size_t)>
 
 ReductionResult assembleReduction(const StringTable& names,
                                   std::vector<RankReduced>&& ranks,
-                                  const std::vector<ReductionStats>& stats) {
+                                  const std::vector<ReductionStats>& stats,
+                                  const std::vector<MatchCounters>& counters) {
   ReductionResult out;
   for (const auto& s : names.all()) out.reduced.names.intern(s);
   out.reduced.ranks = std::move(ranks);
   for (const ReductionStats& st : stats) out.stats.merge(st);
+  for (const MatchCounters& c : counters) out.counters.merge(c);
   return out;
 }
 
@@ -74,14 +82,18 @@ ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& 
                             SimilarityPolicy& policy) {
   std::vector<RankReduced> reducedByRank;
   std::vector<ReductionStats> statsByRank;
+  std::vector<MatchCounters> countersByRank;
   reducedByRank.reserve(segmented.ranks.size());
   statsByRank.reserve(segmented.ranks.size());
+  countersByRank.reserve(segmented.ranks.size());
   for (const RankSegments& rank : segmented.ranks) {
-    auto [reduced, stats] = reduceRank(rank, policy);
-    reducedByRank.push_back(std::move(reduced));
-    statsByRank.push_back(stats);
+    RankOutcome outcome = reduceRank(rank, policy);
+    reducedByRank.push_back(std::move(outcome.reduced));
+    statsByRank.push_back(outcome.stats);
+    countersByRank.push_back(outcome.counters);
   }
-  return assembleReduction(names, std::move(reducedByRank), statsByRank);
+  return assembleReduction(names, std::move(reducedByRank), statsByRank,
+                           countersByRank);
 }
 
 ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& names,
@@ -109,15 +121,18 @@ ReductionResult reduceTrace(const SegmentedTrace& segmented, const StringTable& 
 
   std::vector<RankReduced> reducedByRank(numRanks);
   std::vector<ReductionStats> statsByRank(numRanks);
+  std::vector<MatchCounters> countersByRank(numRanks);
   exec.shard(
       [&](std::size_t worker, std::size_t i) {
-        auto [reduced, stats] = reduceRank(segmented.ranks[i], *policies[worker]);
-        reducedByRank[i] = std::move(reduced);
-        statsByRank[i] = stats;
+        RankOutcome outcome = reduceRank(segmented.ranks[i], *policies[worker]);
+        reducedByRank[i] = std::move(outcome.reduced);
+        statsByRank[i] = outcome.stats;
+        countersByRank[i] = outcome.counters;
       },
       progress);
 
-  return assembleReduction(names, std::move(reducedByRank), statsByRank);
+  return assembleReduction(names, std::move(reducedByRank), statsByRank,
+                           countersByRank);
 }
 
 }  // namespace tracered::core

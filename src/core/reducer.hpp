@@ -33,10 +33,12 @@
 namespace tracered::core {
 
 /// Result of reducing one whole trace. `stats` is the merge of the per-rank
-/// stats.
+/// stats; `counters` the merged matching-loop instrumentation (deterministic
+/// across execution policies, like everything else in the result).
 struct ReductionResult {
   ReducedTrace reduced;
   ReductionStats stats;
+  MatchCounters counters;
 };
 
 /// Observer for long reductions: called after each rank completes with
@@ -74,11 +76,12 @@ class ResolvedExecutor {
 };
 
 /// Assembles a whole-trace result from per-rank pieces (already in rank
-/// order), interning `names` and merging stats. Shared by the serial,
-/// parallel, and online drivers so their assembly can never diverge.
+/// order), interning `names` and merging stats and counters. Shared by the
+/// serial, parallel, and online drivers so their assembly can never diverge.
 ReductionResult assembleReduction(const StringTable& names,
                                   std::vector<RankReduced>&& ranks,
-                                  const std::vector<ReductionStats>& stats);
+                                  const std::vector<ReductionStats>& stats,
+                                  const std::vector<MatchCounters>& counters);
 
 /// Reduces `segmented` (all ranks) with `policy`, serially in rank order.
 /// `names` is copied into the reduced trace so it is self-contained.

@@ -33,6 +33,7 @@ ReductionConfig ReductionConfig::fromName(const std::string& spec) {
                                 spec +
                                 "' (want method@number with a finite, non-negative "
                                 "number, e.g. avgWave@0.2)");
+  validateThreshold(out.method, out.threshold);  // iter_k: integer k >= 1
   return out;
 }
 

@@ -29,7 +29,7 @@ ReductionResult ReductionSession::finish() {
   if (finished_)
     throw std::logic_error("reduction session: finish after the session finished");
   finished_ = true;
-  if (!online_) return assembleReduction(names_, {}, {});
+  if (!online_) return assembleReduction(names_, {}, {}, {});
   return online_->finish(progress_);
 }
 

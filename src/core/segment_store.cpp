@@ -5,11 +5,15 @@ namespace tracered::core {
 const std::vector<SegmentId> SegmentStore::kEmpty;
 
 SegmentId SegmentStore::add(const Segment& segment) {
+  return add(segment, segment.signature());
+}
+
+SegmentId SegmentStore::add(const Segment& segment, std::uint64_t signature) {
   const SegmentId id = static_cast<SegmentId>(segments_.size());
   Segment stored = segment;
   stored.absStart = 0;
   segments_.push_back(std::move(stored));
-  buckets_[segment.signature()].push_back(id);
+  buckets_[signature].push_back(id);
   return id;
 }
 

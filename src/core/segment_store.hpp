@@ -5,12 +5,60 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "trace/segment.hpp"
 
 namespace tracered::core {
+
+/// Derived matching features of one segment, computed once and reused for
+/// every comparison the segment participates in (candidate side: once per
+/// consume(); stored side: once per representative via FeatureCache).
+struct SegmentFeatures {
+  std::vector<double> vec;  ///< Method-specific feature vector (empty for the
+                            ///< element-wise methods, which walk the segments
+                            ///< directly in the full test).
+  double norm = 0.0;        ///< Method-specific pruning norm (L1/L2/L-inf of
+                            ///< `vec`, or the element-wise pre-filter bound).
+  double maxAbs = 0.0;      ///< Vector methods: largest |measurement| — the
+                            ///< Eq. 1 denominator. Element-wise methods: the
+                            ///< |segment end| (their O(1) pre-filter input).
+};
+
+/// Stored-side cache of SegmentFeatures, indexed by SegmentId (dense, store
+/// order — same ids as the owning SegmentStore). Policies populate it from
+/// their onStored hook; getOrCompute() fills lazily for representatives
+/// added behind the policy's back, so manual SegmentStore::add calls keep
+/// working. Like the policies that own it, the cache is per reduction run
+/// and cleared on beginRank().
+class FeatureCache {
+ public:
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  bool has(SegmentId id) const {
+    return id < entries_.size() && entries_[id].has_value();
+  }
+
+  void put(SegmentId id, SegmentFeatures features) {
+    if (entries_.size() <= id) entries_.resize(id + 1);
+    entries_[id] = std::move(features);
+  }
+
+  /// Features for `id`, computing and caching them via `compute` on a miss.
+  template <typename Fn>
+  const SegmentFeatures& getOrCompute(SegmentId id, Fn&& compute) {
+    if (entries_.size() <= id) entries_.resize(id + 1);
+    if (!entries_[id].has_value()) entries_[id] = compute();
+    return *entries_[id];
+  }
+
+ private:
+  std::vector<std::optional<SegmentFeatures>> entries_;
+};
 
 /// Per-rank representative store. Ids are dense indices in store order.
 class SegmentStore {
@@ -19,6 +67,11 @@ class SegmentStore {
   /// times and gets absStart reset to 0 (the representative stands for all
   /// executions, not a particular one). Returns the assigned id.
   SegmentId add(const Segment& segment);
+
+  /// Same, with the segment's signature already computed (hashing the event
+  /// list is part of the per-segment hot path; callers that already hold the
+  /// hash should not pay for it twice).
+  SegmentId add(const Segment& segment, std::uint64_t signature);
 
   /// Representatives whose signature matches `sig` (candidates still need a
   /// `compatible` check to guard against hash collisions). Returns ids in

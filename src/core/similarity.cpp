@@ -2,22 +2,81 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "wavelet/wavelet.hpp"
 
 namespace tracered::core {
+
+namespace {
+
+/// Conservative comparison for pre-filters: true only when `value` exceeds
+/// `bound` by more than a safety margin covering floating-point rounding in
+/// the bound's derivation. `scale` is the magnitude of the quantities the
+/// derivation subtracted (e.g. the two norms), whose cancellation dominates
+/// the rounding error; the margin (1e-9 relative) sits orders of magnitude
+/// above the worst accumulation error of any realistic vector length, so a
+/// pre-filter can never reject a pair the full test would accept — it only
+/// passes borderline pairs through to the exact test.
+bool provablyExceeds(double value, double bound, double scale) {
+  return value > bound + 1e-9 * (scale + std::fabs(bound) + 1.0);
+}
+
+double maxAbsOf(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double l2Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // DistancePolicy
 
 std::optional<SegmentId> DistancePolicy::tryMatch(const Segment& candidate,
                                                   SegmentStore& store) {
-  for (SegmentId id : store.bucket(candidate.signature())) {
+  const auto& bucket = store.bucket(candidate.signature());
+  if (bucket.empty()) return std::nullopt;
+
+  if (!accelerated_) {
+    // The literal Sec. 3.1 loop: recompute any derived data per pair.
+    for (SegmentId id : bucket) {
+      ++counters_.comparisons;
+      const Segment& stored = store.segment(id);
+      if (!candidate.compatible(stored)) continue;  // signature collision guard
+      if (similar(candidate, stored)) return id;
+    }
+    return std::nullopt;
+  }
+
+  // Fast path: candidate features once per consume(), stored features from
+  // the cache, pre-filter before any full vector walk. Scan order and the
+  // first accepted id are identical to the slow path.
+  const SegmentFeatures fc = features(candidate);
+  for (SegmentId id : bucket) {
+    ++counters_.comparisons;
     const Segment& stored = store.segment(id);
-    if (!candidate.compatible(stored)) continue;  // signature collision guard
-    if (similar(candidate, stored)) return id;
+    if (!candidate.compatible(stored)) continue;
+    const SegmentFeatures& fs =
+        cache_.getOrCompute(id, [&] { return features(stored); });
+    if (prefilterRejects(fc, fs)) {
+      ++counters_.pruned;
+      continue;
+    }
+    if (similarPrepared(candidate, fc, stored, fs)) return id;
   }
   return std::nullopt;
+}
+
+void DistancePolicy::onStored(const Segment& segment, SegmentId id) {
+  if (accelerated_) cache_.put(id, features(segment));
 }
 
 // ---------------------------------------------------------------------------
@@ -34,12 +93,44 @@ bool RelDiffPolicy::similar(const Segment& a, const Segment& b) const {
       a, b, [this](double x, double y) { return relDiff(x, y) <= threshold_; });
 }
 
+SegmentFeatures RelDiffPolicy::features(const Segment& s) const {
+  // O(1) feature: the segment end. The element-wise methods walk the
+  // segments directly in the full test (which short-circuits on the first
+  // failing pair), so an O(measurements) candidate feature would cost more
+  // than pruning saves.
+  SegmentFeatures f;
+  f.maxAbs = std::fabs(static_cast<double>(s.end));
+  f.norm = f.maxAbs;
+  return f;
+}
+
+bool RelDiffPolicy::prefilterRejects(const SegmentFeatures& fa,
+                                     const SegmentFeatures& fb) const {
+  // The end pair is one conjunct of the full test, evaluated with the same
+  // arithmetic — an exact reject, no floating-point slack needed.
+  return relDiff(fa.maxAbs, fb.maxAbs) > threshold_;
+}
+
 // ---------------------------------------------------------------------------
 // absDiff
 
 bool AbsDiffPolicy::similar(const Segment& a, const Segment& b) const {
   return forEachMeasurementPair(
       a, b, [this](double x, double y) { return std::fabs(x - y) <= threshold_; });
+}
+
+SegmentFeatures AbsDiffPolicy::features(const Segment& s) const {
+  // O(1) feature: the segment end (see RelDiffPolicy::features).
+  SegmentFeatures f;
+  f.maxAbs = std::fabs(static_cast<double>(s.end));
+  f.norm = f.maxAbs;
+  return f;
+}
+
+bool AbsDiffPolicy::prefilterRejects(const SegmentFeatures& fa,
+                                     const SegmentFeatures& fb) const {
+  // The end pair is one conjunct of the full test — an exact reject.
+  return std::fabs(fa.maxAbs - fb.maxAbs) > threshold_;
 }
 
 // ---------------------------------------------------------------------------
@@ -56,6 +147,10 @@ std::string MinkowskiPolicy::name() const {
 
 double MinkowskiPolicy::distance(Order order, const std::vector<double>& a,
                                  const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("minkowski distance: vector lengths differ (" +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()) + ")");
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = std::fabs(a[i] - b[i]);
@@ -69,15 +164,42 @@ double MinkowskiPolicy::distance(Order order, const std::vector<double>& a,
 }
 
 bool MinkowskiPolicy::similar(const Segment& a, const Segment& b) const {
-  const std::vector<double> va = distanceVector(a);
-  const std::vector<double> vb = distanceVector(b);
-  const double dist = distance(order_, va, vb);
+  return similarPrepared(a, features(a), b, features(b));
+}
+
+SegmentFeatures MinkowskiPolicy::features(const Segment& s) const {
+  SegmentFeatures f;
+  f.vec = distanceVector(s);
+  f.maxAbs = maxAbsOf(f.vec);
+  switch (order_) {
+    case Order::kManhattan: {
+      double acc = 0.0;
+      for (double x : f.vec) acc += std::fabs(x);
+      f.norm = acc;
+      break;
+    }
+    case Order::kEuclidean: f.norm = l2Norm(f.vec); break;
+    case Order::kChebyshev: f.norm = f.maxAbs; break;
+  }
+  return f;
+}
+
+bool MinkowskiPolicy::prefilterRejects(const SegmentFeatures& fa,
+                                       const SegmentFeatures& fb) const {
+  // Reverse triangle inequality: dist_p(a, b) >= |‖a‖_p - ‖b‖_p| for every
+  // order, so a norm gap beyond the Eq. 1 bound rejects without touching
+  // the vectors.
+  return provablyExceeds(std::fabs(fa.norm - fb.norm),
+                         threshold_ * std::max(fa.maxAbs, fb.maxAbs),
+                         fa.norm + fb.norm);
+}
+
+bool MinkowskiPolicy::similarPrepared(const Segment&, const SegmentFeatures& fa,
+                                      const Segment&, const SegmentFeatures& fb) const {
+  const double dist = distance(order_, fa.vec, fb.vec);
   // Eq. 1's acceptance test: distance <= threshold * largest measurement in
   // the pair of vectors (Fig. 2 example: 0.2 * 51 = 10.2).
-  double maxVal = 0.0;
-  for (double v : va) maxVal = std::max(maxVal, std::fabs(v));
-  for (double v : vb) maxVal = std::max(maxVal, std::fabs(v));
-  return dist <= threshold_ * maxVal;
+  return dist <= threshold_ * std::max(fa.maxAbs, fb.maxAbs);
 }
 
 // ---------------------------------------------------------------------------
@@ -89,29 +211,39 @@ std::vector<double> WaveletPolicy::transform(const Segment& s) const {
                                  : wavelet::haarTransform(std::move(v));
 }
 
-std::optional<SegmentId> WaveletPolicy::tryMatch(const Segment& candidate,
-                                                 SegmentStore& store) {
-  const std::vector<double> tc = transform(candidate);
-  for (SegmentId id : store.bucket(candidate.signature())) {
-    const Segment& stored = store.segment(id);
-    if (!candidate.compatible(stored)) continue;
-    const std::vector<double>& ts = cache_.at(id);
-    const double dist = wavelet::euclideanDistance(tc, ts);
-    double maxVal = 0.0;
-    for (double v : tc) maxVal = std::max(maxVal, std::fabs(v));
-    for (double v : ts) maxVal = std::max(maxVal, std::fabs(v));
-    if (dist <= threshold_ * maxVal) return id;
-  }
-  return std::nullopt;
+bool WaveletPolicy::similar(const Segment& a, const Segment& b) const {
+  return similarPrepared(a, features(a), b, features(b));
 }
 
-void WaveletPolicy::onStored(const Segment& segment, SegmentId id) {
-  if (cache_.size() <= id) cache_.resize(id + 1);
-  cache_[id] = transform(segment);
+SegmentFeatures WaveletPolicy::features(const Segment& s) const {
+  SegmentFeatures f;
+  f.vec = transform(s);
+  f.maxAbs = maxAbsOf(f.vec);
+  f.norm = l2Norm(f.vec);
+  return f;
+}
+
+bool WaveletPolicy::prefilterRejects(const SegmentFeatures& fa,
+                                     const SegmentFeatures& fb) const {
+  return provablyExceeds(std::fabs(fa.norm - fb.norm),
+                         threshold_ * std::max(fa.maxAbs, fb.maxAbs),
+                         fa.norm + fb.norm);
+}
+
+bool WaveletPolicy::similarPrepared(const Segment&, const SegmentFeatures& fa,
+                                    const Segment&, const SegmentFeatures& fb) const {
+  const double dist = wavelet::euclideanDistance(fa.vec, fb.vec);
+  return dist <= threshold_ * std::max(fa.maxAbs, fb.maxAbs);
 }
 
 // ---------------------------------------------------------------------------
 // iter_k
+
+IterKPolicy::IterKPolicy(int k) : k_(k) {
+  if (k < 1)
+    throw std::invalid_argument("iter_k: k must be an integer >= 1, got " +
+                                std::to_string(k));
+}
 
 std::optional<SegmentId> IterKPolicy::tryMatch(const Segment& candidate,
                                                SegmentStore& store) {
@@ -119,6 +251,7 @@ std::optional<SegmentId> IterKPolicy::tryMatch(const Segment& candidate,
   int compatibleCount = 0;
   SegmentId last = 0;
   for (SegmentId id : bucket) {
+    ++counters_.comparisons;
     if (candidate.compatible(store.segment(id))) {
       ++compatibleCount;
       last = id;
@@ -149,6 +282,7 @@ std::vector<double> measurements(const Segment& s) {
 std::optional<SegmentId> IterAvgPolicy::tryMatch(const Segment& candidate,
                                                  SegmentStore& store) {
   for (SegmentId id : store.bucket(candidate.signature())) {
+    ++counters_.comparisons;
     if (!candidate.compatible(store.segment(id))) continue;
     Acc& a = acc_.at(id);
     const std::vector<double> m = measurements(candidate);

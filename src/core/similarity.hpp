@@ -7,8 +7,19 @@
 // signature; the iteration-based methods replace the test entirely (iter_k
 // matches once k representatives exist; iter_avg always matches and folds
 // the new measurements into a running average).
+//
+// The matching hot path is accelerated transparently: every distance policy
+// derives per-segment features (measurement/coefficient vector, pruning
+// norm, largest measurement) ONCE per candidate and caches them per stored
+// representative in a FeatureCache populated via onStored, and a
+// conservative norm pre-filter (reverse triangle inequality against the
+// Eq. 1 acceptance bound) rejects provably-dissimilar pairs before any full
+// vector walk. First-match-in-store-order semantics are bit-identical with
+// the literal uncached Sec. 3.1 loop (setAcceleration(false), kept for
+// benchmarking and identity tests).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +28,35 @@
 #include "trace/segment.hpp"
 
 namespace tracered::core {
+
+/// Matching-loop instrumentation: representatives scanned and pre-filter
+/// rejections. Deterministic per rank (the scan is a pure function of the
+/// rank's segments and the config), so totals agree across the serial,
+/// parallel, and online drivers.
+struct MatchCounters {
+  std::size_t comparisons = 0;  ///< Stored representatives examined by tryMatch.
+  std::size_t pruned = 0;       ///< Rejected by a norm pre-filter alone (no
+                                ///< full vector walk).
+
+  void merge(const MatchCounters& other) {
+    comparisons += other.comparisons;
+    pruned += other.pruned;
+  }
+
+  /// pruned / comparisons; 0 when nothing was scanned.
+  double pruneRate() const {
+    return comparisons == 0
+               ? 0.0
+               : static_cast<double>(pruned) / static_cast<double>(comparisons);
+  }
+
+  friend MatchCounters operator-(MatchCounters a, const MatchCounters& b) {
+    a.comparisons -= b.comparisons;
+    a.pruned -= b.pruned;
+    return a;
+  }
+  friend bool operator==(const MatchCounters&, const MatchCounters&) = default;
+};
 
 /// Interface the reducer drives. Policies are stateful per reduction run and
 /// are reset per rank (reduction is intra-process; Sec. 3).
@@ -37,7 +77,7 @@ class SimilarityPolicy {
                                             SegmentStore& store) = 0;
 
   /// Called after the reducer stored `id` for an unmatched candidate (lets
-  /// policies cache derived data, e.g. wavelet coefficients).
+  /// policies cache derived data, e.g. feature vectors).
   virtual void onStored(const Segment& segment, SegmentId id) {
     (void)segment;
     (void)id;
@@ -46,21 +86,72 @@ class SimilarityPolicy {
   /// Called after a rank's reduction completes, before the store's segments
   /// are finalized into the reduced trace (iter_avg writes back averages).
   virtual void finishRank(SegmentStore& store) { (void)store; }
+
+  /// Toggles the feature-cache + pre-filter fast path (on by default). Off
+  /// is the literal uncached Sec. 3.1 loop; results are bit-identical either
+  /// way (tested), so this exists only for benchmarking the fast path and
+  /// for identity tests. Flip before feeding candidates.
+  void setAcceleration(bool on) { accelerated_ = on; }
+  bool accelerationEnabled() const { return accelerated_; }
+
+  /// Cumulative instrumentation over this policy's lifetime (never reset by
+  /// beginRank; consumers diff snapshots, see RankReductionEngine).
+  const MatchCounters& matchCounters() const { return counters_; }
+
+ protected:
+  bool accelerated_ = true;
+  MatchCounters counters_;
 };
 
-/// Base for the distance methods of Sec. 3.2.1: scans the signature bucket
-/// in store order and returns the first representative for which
-/// `similar(candidate, stored)` holds — exactly the paper's compareSegments
-/// loop (context/length/id compatibility is checked via the signature bucket
-/// plus an explicit `compatible` guard).
+/// Base for the feature-vector similarity methods (the Sec. 3.2.1 distances
+/// and the wavelet methods): scans the signature bucket in store order and
+/// returns the first representative for which the ≈ test holds — exactly
+/// the paper's compareSegments loop (context/length/id compatibility is
+/// checked via the signature bucket plus an explicit `compatible` guard).
+///
+/// The accelerated scan computes the candidate's features once per tryMatch,
+/// reads stored features from the FeatureCache (populated in onStored,
+/// lazily filled for representatives added behind the policy's back), and
+/// runs `prefilterRejects` — which may only reject pairs the full test
+/// would provably reject — before `similarPrepared`. The first accepted id
+/// is therefore identical with acceleration on or off.
 class DistancePolicy : public SimilarityPolicy {
  public:
   std::optional<SegmentId> tryMatch(const Segment& candidate,
                                     SegmentStore& store) override;
+  void beginRank() override { cache_.clear(); }
+  void onStored(const Segment& segment, SegmentId id) override;
 
  protected:
-  /// The ≈ test between two compatible segments.
+  /// The ≈ test between two compatible segments — the uncached slow path,
+  /// recomputing any derived data per pair.
   virtual bool similar(const Segment& a, const Segment& b) const = 0;
+
+  /// Derived features of one segment for the fast path.
+  virtual SegmentFeatures features(const Segment& s) const = 0;
+
+  /// Conservative pre-filter: may return true ONLY when (fa, fb) provably
+  /// fails `similar` (implementations keep a floating-point safety margin so
+  /// rounding can never reject a pair the full test would accept).
+  virtual bool prefilterRejects(const SegmentFeatures& fa,
+                                const SegmentFeatures& fb) const {
+    (void)fa;
+    (void)fb;
+    return false;
+  }
+
+  /// The ≈ test with both sides' features already prepared. Must be
+  /// arithmetically identical to `similar`. Defaults to ignoring the
+  /// features (the element-wise methods walk the segments directly).
+  virtual bool similarPrepared(const Segment& a, const SegmentFeatures& fa,
+                               const Segment& b, const SegmentFeatures& fb) const {
+    (void)fa;
+    (void)fb;
+    return similar(a, b);
+  }
+
+ private:
+  FeatureCache cache_;  ///< Stored-side features, indexed by SegmentId.
 };
 
 /// relDiff (Sec. 3.2.1): every paired measurement must satisfy
@@ -77,6 +168,9 @@ class RelDiffPolicy final : public DistancePolicy {
 
  protected:
   bool similar(const Segment& a, const Segment& b) const override;
+  SegmentFeatures features(const Segment& s) const override;
+  bool prefilterRejects(const SegmentFeatures& fa,
+                        const SegmentFeatures& fb) const override;
 
  private:
   double threshold_;
@@ -90,6 +184,9 @@ class AbsDiffPolicy final : public DistancePolicy {
 
  protected:
   bool similar(const Segment& a, const Segment& b) const override;
+  SegmentFeatures features(const Segment& s) const override;
+  bool prefilterRejects(const SegmentFeatures& fa,
+                        const SegmentFeatures& fb) const override;
 
  private:
   double threshold_;
@@ -106,11 +203,19 @@ class MinkowskiPolicy final : public DistancePolicy {
   MinkowskiPolicy(Order order, double threshold) : order_(order), threshold_(threshold) {}
   std::string name() const override;
 
+  /// Throws std::invalid_argument when the vectors' lengths differ (callers
+  /// comparing raw vectors get a diagnostic instead of an out-of-bounds
+  /// read; the reducer's `compatible` guard makes mismatches impossible).
   static double distance(Order order, const std::vector<double>& a,
                          const std::vector<double>& b);
 
  protected:
   bool similar(const Segment& a, const Segment& b) const override;
+  SegmentFeatures features(const Segment& s) const override;
+  bool prefilterRejects(const SegmentFeatures& fa,
+                        const SegmentFeatures& fb) const override;
+  bool similarPrepared(const Segment& a, const SegmentFeatures& fa,
+                       const Segment& b, const SegmentFeatures& fb) const override;
 
  private:
   Order order_;
@@ -120,26 +225,29 @@ class MinkowskiPolicy final : public DistancePolicy {
 /// Wavelet methods (avgWave / haarWave): build the time-stamp vector
 /// [0, e0.start, e0.end, ..., segEnd], zero-pad to a power of two, fully
 /// decompose, then match iff the Euclidean distance between coefficient
-/// vectors is <= threshold * max(|coefficient| in the pair). Coefficients of
-/// stored representatives are cached.
-class WaveletPolicy final : public SimilarityPolicy {
+/// vectors is <= threshold * max(|coefficient| in the pair). Coefficient
+/// vectors ride the shared DistancePolicy FeatureCache.
+class WaveletPolicy final : public DistancePolicy {
  public:
   enum class Kind { kAverage, kHaar };
 
   WaveletPolicy(Kind kind, double threshold) : kind_(kind), threshold_(threshold) {}
   std::string name() const override { return kind_ == Kind::kAverage ? "avgWave" : "haarWave"; }
 
-  void beginRank() override { cache_.clear(); }
-  std::optional<SegmentId> tryMatch(const Segment& candidate, SegmentStore& store) override;
-  void onStored(const Segment& segment, SegmentId id) override;
-
   /// The padded, transformed coefficient vector for a segment.
   std::vector<double> transform(const Segment& s) const;
+
+ protected:
+  bool similar(const Segment& a, const Segment& b) const override;
+  SegmentFeatures features(const Segment& s) const override;
+  bool prefilterRejects(const SegmentFeatures& fa,
+                        const SegmentFeatures& fb) const override;
+  bool similarPrepared(const Segment& a, const SegmentFeatures& fa,
+                       const Segment& b, const SegmentFeatures& fb) const override;
 
  private:
   Kind kind_;
   double threshold_;
-  std::vector<std::vector<double>> cache_;  ///< Indexed by SegmentId.
 };
 
 /// iter_k (Sec. 3.2.2): keep the first k executions of each signature; every
@@ -148,7 +256,9 @@ class WaveletPolicy final : public SimilarityPolicy {
 /// with the most recent collected segment.
 class IterKPolicy final : public SimilarityPolicy {
  public:
-  explicit IterKPolicy(int k) : k_(k) {}
+  /// Throws std::invalid_argument when k < 1 (k <= 0 would "match" against
+  /// a representative that was never stored, corrupting reconstruction).
+  explicit IterKPolicy(int k);
   std::string name() const override { return "iter_k"; }
   std::optional<SegmentId> tryMatch(const Segment& candidate, SegmentStore& store) override;
 

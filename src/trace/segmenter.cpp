@@ -58,6 +58,14 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
           if (current->context != gapContext || !opts.tolerateGaps)
             fail(rankTrace.rank, "nested segment begin for context '" +
                                      names.name(rec.name) + "'");
+          // The implicit gap close obeys the same monotonicity rule as an
+          // explicit segment end: no negative duration may flow into
+          // reduction.
+          if (rec.time < current->absStart)
+            fail(rankTrace.rank, "segment '" + names.name(rec.name) +
+                                     "' begins at " + std::to_string(rec.time) +
+                                     "us, inside a gap that started at " +
+                                     std::to_string(current->absStart) + "us");
           closeCurrent(rec.time);
         }
         Segment s;
@@ -72,6 +80,14 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
         if (!current || current->context != rec.name)
           fail(rankTrace.rank, "unmatched segment end for context '" +
                                    names.name(rec.name) + "'");
+        // Non-monotonic timestamps would flow negative durations into
+        // reduction — same rejection as the streaming OnlineRankReducer, so
+        // the offline and streaming paths accept exactly the same traces.
+        if (rec.time < current->absStart)
+          fail(rankTrace.rank, "segment '" + names.name(rec.name) + "' ends at " +
+                                   std::to_string(rec.time) +
+                                   "us, before its begin at " +
+                                   std::to_string(current->absStart) + "us");
         closeCurrent(rec.time);
         break;
       }
@@ -85,6 +101,11 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
             fail(rankTrace.rank, "gap-tolerant mode requires '<gap>' interned");
           openGap(rec.time);
         }
+        if (rec.time < current->absStart)
+          fail(rankTrace.rank, "event '" + names.name(rec.name) + "' enters at " +
+                                   std::to_string(rec.time) +
+                                   "us, before its segment began at " +
+                                   std::to_string(current->absStart) + "us");
         pendingEnter = rec;
         hasPendingEnter = true;
         break;
@@ -92,6 +113,11 @@ RankSegments segmentRank(const RankTrace& rankTrace, const StringTable& names,
       case RecordKind::kExit: {
         if (!hasPendingEnter || pendingEnter.name != rec.name)
           fail(rankTrace.rank, "exit without matching enter: '" + names.name(rec.name) + "'");
+        if (rec.time < pendingEnter.time)
+          fail(rankTrace.rank, "event '" + names.name(rec.name) + "' exits at " +
+                                   std::to_string(rec.time) +
+                                   "us, before its enter at " +
+                                   std::to_string(pendingEnter.time) + "us");
         EventInterval ev;
         ev.name = rec.name;
         ev.op = pendingEnter.op;

@@ -1,0 +1,219 @@
+// The matching fast path (shared FeatureCache + norm pre-filters) against
+// the literal uncached Sec. 3.1 loop: bit-identical results for every
+// method on every registered workload, the exec-id range property that
+// catches dangling-representative bugs (iter_k with k <= 0 used to emit
+// execs against SegmentId 0 of an empty store), counter determinism across
+// the serial / parallel / online drivers, and FeatureCache behavior.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/methods.hpp"
+#include "core/online_reducer.hpp"
+#include "core/reducer.hpp"
+#include "core/segment_store.hpp"
+#include "eval/workloads.hpp"
+#include "test_helpers.hpp"
+#include "trace/segmenter.hpp"
+
+namespace tracered::core {
+namespace {
+
+using testing::makeSegment;
+
+struct Prepared {
+  Trace trace;
+  SegmentedTrace segmented;
+};
+
+const Prepared& workload(const std::string& name) {
+  static std::map<std::string, Prepared> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    eval::WorkloadOptions opts;
+    opts.scale = 0.08;
+    Prepared p;
+    p.trace = eval::runWorkload(name, opts);
+    p.segmented = segmentTrace(p.trace);
+    it = cache.emplace(name, std::move(p)).first;
+  }
+  return it->second;
+}
+
+/// The nine methods at their paper defaults, plus iter_k@1 — the k edge the
+/// dangling-representative bug hid behind (k=1 matches as soon as one
+/// representative exists; k=0 used to "match" against an empty store).
+std::vector<ReductionConfig> sweepConfigs() {
+  std::vector<ReductionConfig> cfgs;
+  for (Method m : allMethods()) cfgs.push_back(ReductionConfig::defaults(m));
+  cfgs.push_back(ReductionConfig{Method::kIterK, 1.0});
+  return cfgs;
+}
+
+void expectBitIdentical(const ReductionResult& a, const ReductionResult& b) {
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.reduced.names.all(), b.reduced.names.all());
+  ASSERT_EQ(a.reduced.ranks.size(), b.reduced.ranks.size());
+  for (std::size_t r = 0; r < a.reduced.ranks.size(); ++r)
+    EXPECT_EQ(a.reduced.ranks[r], b.reduced.ranks[r]) << "rank index " << r;
+}
+
+/// Every exec must point at a representative that was actually stored —
+/// the property the iter_k@0 bug violated.
+void expectExecIdsInRange(const ReductionResult& res) {
+  for (const RankReduced& rr : res.reduced.ranks)
+    for (const SegmentExec& e : rr.execs)
+      ASSERT_LT(e.id, rr.stored.size()) << "rank " << rr.rank;
+}
+
+TEST(MatchingCache, FastPathBitIdenticalOnEveryWorkloadAndMethod) {
+  for (const std::string& w : eval::allWorkloads()) {
+    const Prepared& p = workload(w);
+    for (const ReductionConfig& cfg : sweepConfigs()) {
+      SCOPED_TRACE(w + " " + cfg.toString());
+      auto slow = cfg.makePolicy();
+      slow->setAcceleration(false);
+      auto fast = cfg.makePolicy();
+      ASSERT_TRUE(fast->accelerationEnabled());
+      const ReductionResult a = reduceTrace(p.segmented, p.trace.names(), *slow);
+      const ReductionResult b = reduceTrace(p.segmented, p.trace.names(), *fast);
+      expectBitIdentical(a, b);
+      expectExecIdsInRange(b);
+      // The scan visits the same representatives in the same order either
+      // way; only the pre-filter short-circuit differs.
+      EXPECT_EQ(a.counters.comparisons, b.counters.comparisons);
+      EXPECT_EQ(a.counters.pruned, 0u);
+      EXPECT_LE(b.counters.pruned, b.counters.comparisons);
+    }
+  }
+}
+
+TEST(MatchingCache, FastPathMatchesParallelAndOnlineDrivers) {
+  for (const std::string& w : {std::string("late_sender"), std::string("sweep3d_8p")}) {
+    const Prepared& p = workload(w);
+    for (Method m : allMethods()) {
+      SCOPED_TRACE(w + " " + methodName(m));
+      const ReductionConfig cfg = ReductionConfig::defaults(m);
+      auto serialPolicy = cfg.makePolicy();
+      const ReductionResult serial =
+          reduceTrace(p.segmented, p.trace.names(), *serialPolicy);
+
+      ReductionConfig par = cfg;
+      par.numThreads = 4;
+      const ReductionResult parallel = reduceTrace(p.segmented, p.trace.names(), par);
+      expectBitIdentical(serial, parallel);
+      EXPECT_EQ(serial.counters, parallel.counters);
+
+      OnlineReducer red(p.trace.names(), cfg);
+      for (Rank r = 0; r < p.trace.numRanks(); ++r)
+        for (const RawRecord& rec : p.trace.rank(r).records) red.feed(r, rec);
+      const ReductionResult online = red.finish();
+      expectBitIdentical(serial, online);
+      EXPECT_EQ(serial.counters, online.counters);
+    }
+  }
+}
+
+TEST(MatchingCache, PreFilterPrunesProvablyDissimilarPairs) {
+  // Same signature, wildly different durations: the norm gap alone rejects
+  // the pair at a tight Euclidean threshold — no full vector walk.
+  StringTable names;
+  const Segment shortSeg = makeSegment(names, "m", 0, 100,
+                                       {{"f", OpKind::kCompute, 1, 99, {}}});
+  const Segment longSeg = makeSegment(names, "m", 0, 1000000,
+                                      {{"f", OpKind::kCompute, 1, 999999, {}}});
+  MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.01);
+  policy.beginRank();
+  SegmentStore store;
+  const SegmentId id = store.add(shortSeg);
+  policy.onStored(store.segment(id), id);
+  EXPECT_FALSE(policy.tryMatch(longSeg, store).has_value());
+  EXPECT_EQ(policy.matchCounters().comparisons, 1u);
+  EXPECT_EQ(policy.matchCounters().pruned, 1u);
+}
+
+TEST(MatchingCache, LazyFeatureFillServesStoresPopulatedBehindThePolicy) {
+  // Representatives added without the onStored hook (manual SegmentStore
+  // use) still match: the cache fills lazily during the scan.
+  StringTable names;
+  const Segment a = makeSegment(names, "m", 0, 100,
+                                {{"f", OpKind::kCompute, 1, 99, {}}});
+  Segment b = a;
+  b.end += 1;
+  MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.5);
+  policy.beginRank();
+  SegmentStore store;
+  store.add(a);  // no onStored
+  const auto match = policy.tryMatch(b, store);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(*match, 0u);
+}
+
+TEST(MatchingCache, AccelerationOffNeverPopulatesTheCacheButStillMatches) {
+  StringTable names;
+  const Segment a = makeSegment(names, "m", 0, 100,
+                                {{"f", OpKind::kCompute, 1, 99, {}}});
+  for (Method m : {Method::kRelDiff, Method::kAbsDiff, Method::kEuclidean,
+                   Method::kAvgWave, Method::kHaarWave}) {
+    auto policy = makePolicy(m, 1e9);
+    policy->setAcceleration(false);
+    policy->beginRank();
+    SegmentStore store;
+    const SegmentId id = store.add(a);
+    policy->onStored(store.segment(id), id);
+    EXPECT_TRUE(policy->tryMatch(a, store).has_value()) << methodName(m);
+  }
+}
+
+TEST(FeatureCache, PutGetOrComputeAndClear) {
+  FeatureCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.has(0));
+
+  SegmentFeatures f;
+  f.vec = {1.0, 2.0};
+  f.norm = 3.0;
+  f.maxAbs = 2.0;
+  cache.put(1, f);
+  EXPECT_TRUE(cache.has(1));
+  EXPECT_FALSE(cache.has(0));  // resized slot exists but is empty
+  EXPECT_EQ(cache.size(), 2u);
+
+  int computations = 0;
+  const SegmentFeatures& lazy = cache.getOrCompute(0, [&] {
+    ++computations;
+    SegmentFeatures g;
+    g.norm = 7.0;
+    return g;
+  });
+  EXPECT_EQ(lazy.norm, 7.0);
+  EXPECT_EQ(computations, 1);
+  // Second lookup hits the cache.
+  (void)cache.getOrCompute(0, [&] {
+    ++computations;
+    return SegmentFeatures{};
+  });
+  EXPECT_EQ(computations, 1);
+  EXPECT_EQ(cache.getOrCompute(1, [] { return SegmentFeatures{}; }).norm, 3.0);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.has(1));
+}
+
+TEST(MatchCountersTest, MergeDiffAndPruneRate) {
+  MatchCounters a{10, 4};
+  const MatchCounters b{5, 1};
+  a.merge(b);
+  EXPECT_EQ(a.comparisons, 15u);
+  EXPECT_EQ(a.pruned, 5u);
+  const MatchCounters d = a - b;
+  EXPECT_EQ(d.comparisons, 10u);
+  EXPECT_EQ(d.pruned, 4u);
+  EXPECT_DOUBLE_EQ(d.pruneRate(), 0.4);
+  EXPECT_DOUBLE_EQ(MatchCounters{}.pruneRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tracered::core

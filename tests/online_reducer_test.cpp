@@ -103,6 +103,65 @@ TEST(OnlineReducer, RejectsMalformedStreams) {
   }
 }
 
+TEST(OnlineReducer, RejectsNonMonotonicTimestamps) {
+  // Negative durations must never flow into reduction: a segment end or
+  // event exit before its begin (or an enter before its segment began) is a
+  // malformed stream, rejected with rank + record context.
+  StringTable names;
+  const NameId fn = names.intern("f");
+  const NameId ctx = names.intern("c");
+  auto policy = makePolicy(Method::kAbsDiff, 1e9);
+
+  auto rec = [](RecordKind kind, NameId name, TimeUs time) {
+    RawRecord r;
+    r.kind = kind;
+    r.name = name;
+    r.time = time;
+    return r;
+  };
+
+  {
+    OnlineRankReducer red(3, names, *policy);
+    red.feed(rec(RecordKind::kSegBegin, ctx, 100));
+    try {
+      red.feed(rec(RecordKind::kSegEnd, ctx, 50));  // ends before it began
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 3"), std::string::npos) << what;
+      EXPECT_NE(what.find("before its begin"), std::string::npos) << what;
+    }
+  }
+  {
+    OnlineRankReducer red(0, names, *policy);
+    red.feed(rec(RecordKind::kSegBegin, ctx, 100));
+    red.feed(rec(RecordKind::kEnter, fn, 150));
+    try {
+      red.feed(rec(RecordKind::kExit, fn, 140));  // exits before it entered
+      FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+      EXPECT_NE(what.find("before its enter"), std::string::npos) << what;
+    }
+  }
+  {
+    OnlineRankReducer red(0, names, *policy);
+    red.feed(rec(RecordKind::kSegBegin, ctx, 100));
+    EXPECT_THROW(red.feed(rec(RecordKind::kEnter, fn, 90)),  // before segment
+                 std::runtime_error);
+  }
+  {
+    // Equal timestamps (zero-length segment / event) remain valid.
+    OnlineRankReducer red(0, names, *policy);
+    red.feed(rec(RecordKind::kSegBegin, ctx, 100));
+    red.feed(rec(RecordKind::kEnter, fn, 100));
+    red.feed(rec(RecordKind::kExit, fn, 100));
+    red.feed(rec(RecordKind::kSegEnd, ctx, 100));
+    EXPECT_EQ(red.stats().totalSegments, 1u);
+  }
+}
+
 TEST(OnlineReducer, FinishIsTerminal) {
   StringTable names;
   names.intern("c");

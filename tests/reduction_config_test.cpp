@@ -90,6 +90,18 @@ TEST(ReductionConfig, FromNameRejectsMalformedThresholds) {
   EXPECT_THROW(ReductionConfig::fromName("avgWave@-0.2"), std::invalid_argument);
 }
 
+TEST(ReductionConfig, FromNameRejectsNonIntegerOrNonPositiveIterK) {
+  // Regression for the dangling-representative bug: iter_k@0 used to parse
+  // fine and record execs against a representative that was never stored.
+  EXPECT_THROW(ReductionConfig::fromName("iter_k@0"), std::invalid_argument);
+  EXPECT_THROW(ReductionConfig::fromName("iter_k@-3"), std::invalid_argument);
+  EXPECT_THROW(ReductionConfig::fromName("iter_k@2.5"), std::invalid_argument);
+  EXPECT_THROW(ReductionConfig::fromName("ITER_K@0.5"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ReductionConfig::fromName("iter_k@1").threshold, 1.0);
+  EXPECT_DOUBLE_EQ(ReductionConfig::fromName("ITER_K@10").threshold, 10.0);
+  EXPECT_DOUBLE_EQ(ReductionConfig::fromName("iter_k").threshold, 10.0);  // default
+}
+
 TEST(ReductionConfig, WithExecutorSetsOnlyTheExecutor) {
   util::SerialExecutor exec;
   const ReductionConfig base{Method::kHaarWave, 0.6, 4};

@@ -120,6 +120,71 @@ TEST(Segmenter, RejectsOpenEventAtSegmentEnd) {
   EXPECT_THROW(segmentTrace(trace), std::runtime_error);
 }
 
+TEST(Segmenter, RejectsNonMonotonicTimestamps) {
+  // Same rejection as the streaming OnlineRankReducer, so the offline and
+  // streaming paths accept exactly the same traces: no negative duration
+  // may flow into reduction. RankTraceWriter already refuses to WRITE such
+  // records, so inject them directly — the way a corrupted or foreign trace
+  // file would deliver them.
+  auto makeTrace = [](const std::vector<std::pair<RecordKind, TimeUs>>& recs) {
+    Trace trace(1);
+    const NameId ctx = trace.names().intern("a");
+    const NameId fn = trace.names().intern("f");
+    for (const auto& [kind, time] : recs) {
+      RawRecord r;
+      r.kind = kind;
+      r.name = (kind == RecordKind::kSegBegin || kind == RecordKind::kSegEnd) ? ctx : fn;
+      r.time = time;
+      trace.rank(0).records.push_back(r);
+    }
+    return trace;
+  };
+
+  // Segment ends before it began.
+  EXPECT_THROW(segmentTrace(makeTrace({{RecordKind::kSegBegin, 100},
+                                       {RecordKind::kSegEnd, 50}})),
+               std::runtime_error);
+  // Event exits before it entered.
+  EXPECT_THROW(segmentTrace(makeTrace({{RecordKind::kSegBegin, 100},
+                                       {RecordKind::kEnter, 150},
+                                       {RecordKind::kExit, 140}})),
+               std::runtime_error);
+  // Event enters before its segment began.
+  EXPECT_THROW(segmentTrace(makeTrace({{RecordKind::kSegBegin, 100},
+                                       {RecordKind::kEnter, 90}})),
+               std::runtime_error);
+  // Zero-length segment and event stay valid.
+  EXPECT_EQ(segmentTrace(makeTrace({{RecordKind::kSegBegin, 100},
+                                    {RecordKind::kEnter, 100},
+                                    {RecordKind::kExit, 100},
+                                    {RecordKind::kSegEnd, 100}}))
+                .totalSegments(),
+            1u);
+
+  // The gap-tolerant implicit close obeys the same rule: a segment begin
+  // inside an open gap must not retroactively end the gap before it started.
+  {
+    Trace trace(1);
+    trace.names().intern("<gap>");
+    const NameId fn = trace.names().intern("f");
+    const NameId ctx = trace.names().intern("a");
+    auto push = [&](RecordKind kind, NameId name, TimeUs time) {
+      RawRecord r;
+      r.kind = kind;
+      r.name = name;
+      r.time = time;
+      trace.rank(0).records.push_back(r);
+    };
+    push(RecordKind::kEnter, fn, 200);
+    push(RecordKind::kExit, fn, 210);
+    push(RecordKind::kSegBegin, ctx, 150);  // would close the gap at -50us
+    push(RecordKind::kSegEnd, ctx, 260);
+    SegmenterOptions opts;
+    opts.tolerateGaps = true;
+    EXPECT_THROW(segmentTrace(trace, opts), std::runtime_error);
+  }
+}
+
 TEST(Segmenter, GapToleranceCollectsOrphans) {
   Trace trace(1);
   trace.names().intern("<gap>");

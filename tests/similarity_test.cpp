@@ -2,6 +2,9 @@
 // examples: threshold monotonicity, bucket handling, caching, averaging.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/methods.hpp"
 #include "core/segment_store.hpp"
 #include "core/similarity.hpp"
@@ -173,6 +176,50 @@ TEST(Wavelet, HaarIsStricterThanAvgOnSameThreshold) {
     // If Haar matches, the average transform must match too.
     EXPECT_TRUE(am || !hm) << "t=" << t;
   }
+}
+
+TEST(Minkowski, DistanceRejectsMismatchedVectorLengths) {
+  // Public-static entry point: mismatched lengths used to read b out of
+  // bounds; now they are a diagnostic.
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0};
+  for (auto order : {MinkowskiPolicy::Order::kManhattan,
+                     MinkowskiPolicy::Order::kEuclidean,
+                     MinkowskiPolicy::Order::kChebyshev}) {
+    EXPECT_THROW(MinkowskiPolicy::distance(order, a, b), std::invalid_argument);
+    EXPECT_THROW(MinkowskiPolicy::distance(order, b, a), std::invalid_argument);
+  }
+  EXPECT_DOUBLE_EQ(
+      MinkowskiPolicy::distance(MinkowskiPolicy::Order::kManhattan, a, a), 0.0);
+}
+
+TEST(IterK, ConstructorRejectsNonPositiveK) {
+  // k <= 0 would "match" against a representative that was never stored
+  // (the dangling-representative bug): tryMatch's compatibleCount >= k_
+  // holds on an empty bucket, returning SegmentId 0 of an empty store.
+  EXPECT_THROW(IterKPolicy(0), std::invalid_argument);
+  EXPECT_THROW(IterKPolicy(-3), std::invalid_argument);
+  EXPECT_EQ(IterKPolicy(1).k(), 1);
+}
+
+TEST(Methods, MakePolicyValidatesIterKThreshold) {
+  EXPECT_THROW(makePolicy(Method::kIterK, 0.0), std::invalid_argument);
+  EXPECT_THROW(makePolicy(Method::kIterK, -3.0), std::invalid_argument);
+  EXPECT_THROW(makePolicy(Method::kIterK, 2.5), std::invalid_argument);
+  EXPECT_THROW(makePolicy(Method::kIterK, 1e18), std::invalid_argument);  // > INT_MAX
+  EXPECT_NE(makePolicy(Method::kIterK, 1.0), nullptr);
+  EXPECT_NE(makePolicy(Method::kIterK, 1000.0), nullptr);
+  // Every study k is valid by construction.
+  for (double k : studyThresholds(Method::kIterK))
+    EXPECT_NO_THROW(validateThreshold(Method::kIterK, k));
+  // The other thresholded methods require a finite, non-negative threshold.
+  EXPECT_NO_THROW(validateThreshold(Method::kAvgWave, 0.25));
+  EXPECT_THROW(makePolicy(Method::kAbsDiff, -5.0), std::invalid_argument);
+  EXPECT_THROW(makePolicy(Method::kRelDiff, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(makePolicy(Method::kEuclidean, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // iter_avg ignores its threshold entirely.
+  EXPECT_NO_THROW(makePolicy(Method::kIterAvg, -1.0));
 }
 
 TEST(IterK, KeepsExactlyKThenMatchesLast) {

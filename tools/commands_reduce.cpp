@@ -2,6 +2,7 @@
 // offline (whole trace in memory) or --streaming (chunked reader feeding a
 // ReductionSession record by record, so the trace never has to fit in
 // memory). Both modes produce byte-identical output files (tested).
+#include <chrono>
 #include <cstdio>
 
 #include "commands.hpp"
@@ -38,6 +39,7 @@ int runReduce(const CliArgs& args) {
   config.numThreads = static_cast<int>(args.getInt("threads", 1));
   const bool streaming = args.getBool("streaming");
   const bool progress = args.getBool("progress");
+  const bool stats = args.getBool("stats");
   const std::string out = args.get("out");
 
   core::ReductionResult result;
@@ -45,6 +47,7 @@ int runReduce(const CliArgs& args) {
   std::size_t fullBytes = 0;  // serialized TRF1 bytes; 0 = unknown
   TraceFileReader reader(input);
 
+  const auto reduceStart = std::chrono::steady_clock::now();
   if (streaming) {
     core::ReductionSession session(reader.names(), config);
     if (progress) session.onProgress(progressPrinter());
@@ -69,6 +72,9 @@ int runReduce(const CliArgs& args) {
     result = session.reduce(segmentTrace(trace));
     fullBytes = fullTraceSize(trace);
   }
+  const double reduceMs = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - reduceStart)
+                              .count();
 
   const std::size_t reducedBytes = reducedTraceSize(result.reduced);
   TextTable t;
@@ -88,6 +94,16 @@ int runReduce(const CliArgs& args) {
                        ? "-"
                        : fmtPct(100.0 * static_cast<double>(reducedBytes) /
                                 static_cast<double>(fullBytes))});
+  if (stats) {
+    // The matching-cost rows: wall clock of the reduce phase (read + match;
+    // everything this command does before sizing the result), plus the
+    // hot-loop instrumentation — representatives scanned and how many were
+    // rejected by a norm pre-filter before any full vector walk.
+    t.row({"reduce wall ms", fmtF(reduceMs, 1)});
+    t.row({"reps scanned", std::to_string(result.counters.comparisons)});
+    t.row({"pruned by pre-filter", std::to_string(result.counters.pruned)});
+    t.row({"prune rate", fmtPct(100.0 * result.counters.pruneRate())});
+  }
   std::printf("%s", t.str().c_str());
 
   if (!out.empty()) {
@@ -112,6 +128,7 @@ CliCommand makeReduceCommand() {
       {"streaming", "", "feed the file through the chunked reader record by record"},
       {"threads", "<n>", "reduction worker threads; 0 = hardware concurrency (default 1)"},
       {"progress", "", "report per-rank progress on stderr"},
+      {"stats", "", "append matching-cost rows (wall ms, reps scanned, prune rate)"},
   };
   c.run = runReduce;
   return c;
