@@ -50,7 +50,10 @@ struct BenchOptions {
       opts.workload.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
       opts.csv = args.getBool("csv", false);
       opts.threads = static_cast<int>(args.getInt("threads", 0));
-    } catch (const UsageError& e) {
+      // A zero/negative/NaN scale must be an exit-2 usage error here, not an
+      // uncaught invalid_argument from runWorkload deep inside the harness.
+      eval::validateWorkloadOptions(opts.workload);
+    } catch (const std::invalid_argument& e) {  // UsageError included
       usageExit(args, e.what());
     }
     opts.args_.emplace(std::move(args));

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   try {
     opts.scale = args.getDouble("scale", 0.5);
     opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
-  } catch (const UsageError& e) {
+    eval::validateWorkloadOptions(opts);
+  } catch (const std::invalid_argument& e) {  // UsageError included
     usageExit(args, e.what());
   }
 

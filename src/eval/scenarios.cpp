@@ -1,0 +1,443 @@
+#include "eval/scenarios.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/noise.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace tracered::eval {
+
+namespace {
+
+int asInt(double v) { return static_cast<int>(std::llround(v)); }
+TimeUs asTime(double v) { return static_cast<TimeUs>(std::llround(v)); }
+
+void addInit(sim::RankProgramBuilder& b) {
+  b.segBegin("init");
+  b.init();
+  b.segEnd("init");
+}
+
+void addFinal(sim::RankProgramBuilder& b) {
+  b.segBegin("final");
+  b.finalize();
+  b.segEnd("final");
+}
+
+/// Shared frame: dense rank program + the ATS loop-overhead cost model, so
+/// scenario segments carry the same relatively-noisy first timestamps the
+/// paper's benchmarks do.
+ats::Workload skeleton(int ranks, std::uint64_t seed) {
+  ats::Workload w;
+  w.program = sim::Program(ranks);
+  w.sim.seed = seed;
+  w.sim.cost.loopOverheadMax = 120;
+  return w;
+}
+
+/// Resolved parameter view: `p.get("key")` after resolveScenarioParams has
+/// merged defaults and overrides, plus the common ranks/iterations reads.
+struct P {
+  const ScenarioParams& params;
+  const WorkloadOptions& opts;
+
+  double get(const char* key) const { return params.at(key); }
+  int ranks() const { return asInt(get("ranks")); }
+  int iters() const { return scaledIterations(asInt(get("iters")), opts.scale); }
+};
+
+// ---------------------------------------------------------------------------
+// The generators. Each composes sim::Program ops exactly like src/ats does;
+// comments name the behaviour family the scenario adds to the registry.
+
+/// Global calm/burst phases: every rank's iteration cost jumps by
+/// `burst_factor` for `burst_len` iterations out of every `period`, with an
+/// allreduce coupling the ranks. Two widely separated duration clusters per
+/// context — segments must not match across the calm/burst boundary.
+ats::Workload makeBurstyPhases(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const int period = asInt(p.get("period"));
+  const int burstLen = asInt(p.get("burst_len"));
+  const TimeUs calm = asTime(p.get("work"));
+  const TimeUs burst = asTime(p.get("work") * p.get("burst_factor"));
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("main.1");
+      b.compute(i % period < burstLen ? burst : calm);
+      b.collective(OpKind::kAllreduce, -1, 64);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Monotonically drifting iteration cost: work grows by `drift` (relative)
+/// per iteration on every rank, barrier-coupled. Chain-matching behaviour:
+/// adjacent iterations are near-identical while first and last differ by a
+/// large factor — separates absolute- from relative-threshold methods.
+ats::Workload makeDriftingCost(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const double base = p.get("work");
+  const double drift = p.get("drift");
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("main.1");
+      b.compute(asTime(base * (1.0 + drift * i)));
+      b.collective(OpKind::kBarrier);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Persistent stragglers: every `straggler_every`-th rank computes
+/// `slowdown`x the work, so the fast majority accumulates barrier wait every
+/// iteration (rank-imbalance family; the stragglers' own segments form a
+/// second duration class).
+ats::Workload makeStragglers(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const int every = asInt(p.get("straggler_every"));
+  const TimeUs work = asTime(p.get("work"));
+  const TimeUs slow = asTime(p.get("work") * p.get("slowdown"));
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const TimeUs mine = (r % every == 0) ? slow : work;
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("main.1");
+      b.compute(mine);
+      b.collective(OpKind::kBarrier);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Sparse-rank SPMD: only every `stride`-th rank runs the main loop
+/// (skewed ping-pong pairs between consecutive active ranks); the rest are
+/// idle between MPI_Init and MPI_Finalize. Exercises near-empty ranks in
+/// every driver and file format, and rank-local stores of wildly different
+/// sizes within one trace.
+ats::Workload makeSparseRanks(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const int stride = asInt(p.get("stride"));
+  const TimeUs work = asTime(p.get("work"));
+  const TimeUs skewed = asTime(p.get("work") * p.get("skew"));
+  const auto bytes = static_cast<std::uint32_t>(asInt(p.get("bytes")));
+
+  std::vector<Rank> active;
+  for (Rank r = 0; r < p.ranks(); ++r)
+    if (r % stride == 0) active.push_back(r);
+
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    std::size_t pos = active.size();
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (active[i] == r) pos = i;
+    if (pos != active.size()) {
+      // Pair consecutive active ranks; the higher side works `skew` times
+      // longer, so the lower side waits in its receive (Late Sender).
+      const bool lower = (pos % 2 == 0);
+      const Rank peer = lower ? (pos + 1 < active.size() ? active[pos + 1] : -1)
+                              : active[pos - 1];
+      for (int i = 0; i < p.iters(); ++i) {
+        b.segBegin("main.1");
+        b.compute(lower ? work : skewed);
+        if (peer < 0) {
+          // Odd active count: the last active rank has no partner.
+        } else if (lower) {
+          b.send(peer, 0, bytes);
+          b.recv(peer, 1, bytes);
+        } else {
+          b.recv(peer, 0, bytes);
+          b.send(peer, 1, bytes);
+        }
+        b.segEnd("main.1");
+      }
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Multi-region loop body: each iteration is three sibling regions with
+/// distinct contexts and behaviours — "it.fill" (pure compute),
+/// "it.exchange" (pairwise message exchange), "it.reduce" (allreduce tail) —
+/// the nested-program shape of real codes (cf. sweep3d's it.src/it.oct.kb/
+/// it.flux), with three independent per-rank segment populations.
+ats::Workload makeMultiRegion(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const TimeUs work = asTime(p.get("work"));
+  const auto bytes = static_cast<std::uint32_t>(asInt(p.get("bytes")));
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    const bool even = (r % 2 == 0);
+    const Rank peer = even ? r + 1 : r - 1;
+    const bool paired = peer < p.ranks();
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("it.fill");
+      b.compute(work);
+      b.segEnd("it.fill");
+      b.segBegin("it.exchange");
+      if (!paired) {
+        b.compute(work / 4);
+      } else if (even) {
+        b.send(peer, 0, bytes);
+        b.recv(peer, 1, bytes);
+      } else {
+        b.recv(peer, 0, bytes);
+        b.send(peer, 1, bytes);
+      }
+      b.segEnd("it.exchange");
+      b.segBegin("it.reduce");
+      b.compute(work / 4);
+      b.collective(OpKind::kAllreduce, -1, 64);
+      b.segEnd("it.reduce");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Noise-profile sweep: the balanced interference program (compute +
+/// allreduce) under a fully parameterized PeriodicNoise — `noise_sources`
+/// interrupt classes, class i firing every `noise_period`*(i+1) µs for
+/// `noise_duration`*(i+1) µs with `noise_jitter` relative jitter. Sweeping
+/// the params reproduces anything between near-silence and ASCI-Q-1024-like
+/// disturbance.
+ats::Workload makeNoiseProfile(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const int nSources = asInt(p.get("noise_sources"));
+  std::vector<sim::InterruptSource> sources;
+  for (int i = 0; i < nSources; ++i) {
+    sim::InterruptSource src;
+    src.period = asTime(p.get("noise_period") * (i + 1));
+    src.duration = asTime(p.get("noise_duration") * (i + 1));
+    src.jitter = p.get("noise_jitter");
+    sources.push_back(src);
+  }
+  w.noise = std::make_unique<sim::PeriodicNoise>(std::move(sources), p.opts.seed);
+  const TimeUs work = asTime(p.get("work"));
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("main.1");
+      b.compute(work);
+      b.collective(OpKind::kAllreduce, -1, 64);
+      b.segEnd("main.1");
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+/// Per-rank random-walk cost: each rank's work wanders multiplicatively
+/// (step `step`, clamped to [work/4, work*4]) on an independent SplitMix64
+/// stream derived from (seed, rank) — deterministic, but with no global
+/// structure for a reducer to latch onto. Barrier-coupled, so the slowest
+/// walker of each iteration sets the pace.
+ats::Workload makeRandomWalkCost(const P& p) {
+  ats::Workload w = skeleton(p.ranks(), p.opts.seed);
+  const double base = p.get("work");
+  const double step = p.get("step");
+  for (Rank r = 0; r < p.ranks(); ++r) {
+    sim::RankProgramBuilder b(w.program.ranks[static_cast<std::size_t>(r)]);
+    addInit(b);
+    SplitMix64 rng(seedFor("scenario.walk", p.opts.seed, r));
+    double work = base;
+    for (int i = 0; i < p.iters(); ++i) {
+      b.segBegin("main.1");
+      b.compute(asTime(work));
+      b.collective(OpKind::kBarrier);
+      b.segEnd("main.1");
+      work *= 1.0 + step * (2.0 * rng.nextDouble() - 1.0);
+      if (work < base * 0.25) work = base * 0.25;
+      if (work > base * 4.0) work = base * 4.0;
+    }
+    addFinal(b);
+  }
+  return w;
+}
+
+using Builder = ats::Workload (*)(const P&);
+
+struct ScenarioEntry {
+  ScenarioSpec spec;
+  Builder build;
+};
+
+const std::vector<ScenarioEntry>& entries() {
+  static const std::vector<ScenarioEntry> kEntries = {
+      {{"bursty_phases",
+        "global calm/burst phases: iteration cost jumps by burst_factor for "
+        "burst_len of every period iterations, allreduce-coupled",
+        {{"ranks", 8, 2, "rank count", true},
+         {"iters", 160, 1, "loop iterations at scale 1.0", true},
+         {"work", 800, 1, "calm-phase work period, us"},
+         {"period", 20, 2, "iterations per calm/burst cycle", true},
+         {"burst_len", 4, 1, "burst iterations per cycle", true},
+         {"burst_factor", 6, 1, "burst work multiplier"}}},
+       makeBurstyPhases},
+      {{"drifting_cost",
+        "iteration cost grows by a relative drift per iteration on every "
+        "rank, barrier-coupled (chain-matching behaviour)",
+        {{"ranks", 8, 2, "rank count", true},
+         {"iters", 150, 1, "loop iterations at scale 1.0", true},
+         {"work", 800, 1, "initial work period, us"},
+         {"drift", 0.01, 0, "relative work growth per iteration"}}},
+       makeDriftingCost},
+      {{"stragglers",
+        "every straggler_every-th rank computes slowdown x the work; the "
+        "fast majority waits at the barrier every iteration",
+        {{"ranks", 16, 2, "rank count", true},
+         {"iters", 120, 1, "loop iterations at scale 1.0", true},
+         {"work", 900, 1, "majority work period, us"},
+         {"straggler_every", 4, 1, "straggler stride (1 = every rank)", true},
+         {"slowdown", 3, 1, "straggler work multiplier"}}},
+       makeStragglers},
+      {{"sparse_ranks",
+        "only every stride-th rank runs the main loop (skewed ping-pong "
+        "pairs); the rest are idle between init and finalize",
+        {{"ranks", 32, 2, "rank count", true},
+         {"iters", 140, 1, "loop iterations at scale 1.0", true},
+         {"work", 700, 1, "active-rank work period, us"},
+         {"stride", 4, 1, "active-rank stride (1 = all active)", true},
+         {"skew", 1.5, 1, "work multiplier on the receiving pair side"},
+         {"bytes", 2048, 1, "ping-pong message size", true}}},
+       makeSparseRanks},
+      {{"multi_region",
+        "three sibling regions per iteration (it.fill / it.exchange / "
+        "it.reduce) with distinct behaviours per context",
+        {{"ranks", 8, 2, "rank count", true},
+         {"iters", 100, 1, "loop iterations at scale 1.0", true},
+         {"work", 500, 1, "fill-region work period, us"},
+         {"bytes", 4096, 1, "exchange message size", true}}},
+       makeMultiRegion},
+      {{"noise_profile",
+        "balanced compute + allreduce under a parameterized periodic noise "
+        "model (noise_sources classes at multiples of noise_period/duration)",
+        {{"ranks", 16, 2, "rank count", true},
+         {"iters", 150, 1, "loop iterations at scale 1.0", true},
+         {"work", 1000, 1, "work period, us"},
+         {"noise_period", 3000, 1, "base interrupt period, us"},
+         {"noise_duration", 120, 1, "base interrupt duration, us"},
+         {"noise_jitter", 0.3, 0, "relative jitter on period and duration"},
+         {"noise_sources", 2, 1, "number of interrupt source classes", true}}},
+       makeNoiseProfile},
+      {{"random_walk_cost",
+        "per-rank multiplicative random-walk work (independent deterministic "
+        "streams), barrier-coupled",
+        {{"ranks", 8, 2, "rank count", true},
+         {"iters", 150, 1, "loop iterations at scale 1.0", true},
+         {"work", 900, 1, "starting work period, us"},
+         {"step", 0.08, 0, "max relative step per iteration"}}},
+       makeRandomWalkCost},
+  };
+  return kEntries;
+}
+
+const ScenarioEntry* findEntry(const std::string& name) {
+  for (const ScenarioEntry& e : entries())
+    if (e.spec.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenarioSpecs() {
+  static const std::vector<ScenarioSpec> kSpecs = [] {
+    std::vector<ScenarioSpec> v;
+    for (const ScenarioEntry& e : entries()) v.push_back(e.spec);
+    return v;
+  }();
+  return kSpecs;
+}
+
+const std::vector<std::string>& scenarioNames() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> v;
+    for (const ScenarioEntry& e : entries()) v.push_back(e.spec.name);
+    return v;
+  }();
+  return kNames;
+}
+
+bool isScenario(const std::string& name) { return findEntry(name) != nullptr; }
+
+const ScenarioSpec* findScenarioSpec(const std::string& name) {
+  // Points into scenarioSpecs() (stable for the process lifetime), so
+  // callers can hold the spec across resolve/run calls.
+  for (const ScenarioSpec& spec : scenarioSpecs())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+ScenarioParams resolveScenarioParams(const ScenarioSpec& spec,
+                                     const ScenarioParams& overrides) {
+  ScenarioParams resolved;
+  for (const ScenarioParam& p : spec.params) resolved[p.key] = p.value;
+  std::vector<std::string> keys;
+  for (const ScenarioParam& p : spec.params) keys.push_back(p.key);
+  for (const auto& [key, value] : overrides) {
+    const auto it = resolved.find(key);
+    if (it == resolved.end()) {
+      std::string msg = "scenario '" + spec.name + "' has no parameter '" +
+                        key + "'" + didYouMean(key, keys) + "; parameters:";
+      for (const auto& k : keys) msg += " " + k;
+      throw std::invalid_argument(msg);
+    }
+    it->second = value;
+  }
+  for (const ScenarioParam& p : spec.params) {
+    const double v = resolved[p.key];
+    if (!std::isfinite(v))
+      throw std::invalid_argument("scenario '" + spec.name + "': parameter '" +
+                                  p.key + "' must be finite");
+    if (v < p.min)
+      throw std::invalid_argument("scenario '" + spec.name + "': parameter '" +
+                                  p.key + "' = " + std::to_string(v) +
+                                  " is below its minimum " + std::to_string(p.min));
+    // Counts are never silently rounded or wrapped (same rule as iter_k's
+    // k): a fractional rank/iteration/stride count is an error, because two
+    // "different" specs that round to the same program would break the
+    // params-change-the-trace expectation, and a count beyond int range
+    // would wrap in the int conversion the builders use.
+    if (p.integral && (v != std::floor(v) || v > 2147483647.0))
+      throw std::invalid_argument("scenario '" + spec.name + "': parameter '" +
+                                  p.key + "' = " + std::to_string(v) +
+                                  " must be an integer in int range");
+  }
+  return resolved;
+}
+
+ats::Workload makeScenario(const std::string& name, const WorkloadOptions& opts,
+                           const ScenarioParams& overrides) {
+  validateWorkloadOptions(opts);
+  const ScenarioEntry* entry = findEntry(name);
+  if (entry == nullptr)
+    throw std::invalid_argument("eval: unknown scenario '" + name + "'" +
+                                didYouMean(name, scenarioNames()));
+  const ScenarioParams params = resolveScenarioParams(entry->spec, overrides);
+  return entry->build(P{params, opts});
+}
+
+Trace runScenario(const std::string& name, const WorkloadOptions& opts,
+                  const ScenarioParams& overrides) {
+  ats::Workload w = makeScenario(name, opts, overrides);
+  return sim::simulate(w.program, w.sim, w.noise.get());
+}
+
+}  // namespace tracered::eval

@@ -1,0 +1,83 @@
+// Parameterized scenario generators: synthetic workload families beyond the
+// paper's fixed 18-program evaluation set (Sec. 4).
+//
+// The paper's benchmarks pin each similarity method against *known* regular
+// and interference behaviours; real traces also exhibit bursty phases,
+// drifting iteration cost, stragglers, sparse rank activity, multi-region
+// loops, and arbitrary noise profiles. Each scenario here is a seeded,
+// parameterized generator for one such family, described by a ScenarioSpec
+// (name + declared parameters with defaults) and built by composing the
+// existing sim::Program / sim::NoiseModel machinery — no hand-rolled
+// records, so every scenario inherits the simulator's blocking semantics
+// and jitter model.
+//
+// Scenarios are registered into the eval workload registry under the
+// "scenario:" namespace (eval::scenarioWorkloads()), so every bench, test
+// sweep, and `tracered generate` sees them exactly like the paper's
+// workloads. Determinism is a hard guarantee: the same (scenario, params,
+// scale, seed) produces a byte-identical TRF1 trace on every run — the
+// golden-corpus regression test keys off it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ats/ats.hpp"
+#include "eval/workloads.hpp"
+#include "trace/trace.hpp"
+
+namespace tracered::eval {
+
+/// One declared parameter of a scenario generator.
+struct ScenarioParam {
+  std::string key;        ///< snake_case name ("burst_factor")
+  double value = 0;       ///< default
+  double min = 0;         ///< inclusive lower bound (validation)
+  std::string help;       ///< one-line description
+  bool integral = false;  ///< counts (ranks, iters, ...): fractional values
+                          ///< are rejected, never silently rounded
+};
+
+/// The public description of one scenario generator.
+struct ScenarioSpec {
+  std::string name;     ///< bare name, without the "scenario:" prefix
+  std::string summary;  ///< one-line behaviour description
+  std::vector<ScenarioParam> params;
+};
+
+/// Parameter overrides, keyed by ScenarioParam::key.
+using ScenarioParams = std::map<std::string, double>;
+
+/// All registered scenario specs, in registry order.
+const std::vector<ScenarioSpec>& scenarioSpecs();
+
+/// The bare scenario names, in registry order.
+const std::vector<std::string>& scenarioNames();
+
+/// True if `name` (bare, no prefix) is a registered scenario.
+bool isScenario(const std::string& name);
+
+/// The spec for `name` (bare), or nullptr if unknown.
+const ScenarioSpec* findScenarioSpec(const std::string& name);
+
+/// Merges `overrides` over the spec's defaults and validates the result.
+/// Throws std::invalid_argument for unknown keys (with a nearest-candidate
+/// suggestion) and for non-finite or below-minimum values.
+ScenarioParams resolveScenarioParams(const ScenarioSpec& spec,
+                                     const ScenarioParams& overrides);
+
+/// Builds the named scenario as a ready-to-simulate workload (program +
+/// optional noise + sim config). `opts.scale` multiplies the iteration
+/// count (min 4, like every registry workload); `opts.seed` seeds every
+/// jitter/noise stream. Throws std::invalid_argument for unknown names
+/// (nearest-candidate suggestion), bad options, or bad parameters.
+ats::Workload makeScenario(const std::string& name, const WorkloadOptions& opts = {},
+                           const ScenarioParams& overrides = {});
+
+/// Convenience: build + simulate. Same determinism guarantee as the spec:
+/// identical (name, opts, overrides) => byte-identical serialized trace.
+Trace runScenario(const std::string& name, const WorkloadOptions& opts = {},
+                  const ScenarioParams& overrides = {});
+
+}  // namespace tracered::eval

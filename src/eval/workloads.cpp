@@ -4,21 +4,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "eval/scenarios.hpp"
+#include "util/cli.hpp"
+
 namespace tracered::eval {
 
-namespace {
-
-int scaled(int iters, double scale) {
-  return std::max(4, static_cast<int>(std::lround(iters * scale)));
+void validateWorkloadOptions(const WorkloadOptions& opts) {
+  if (!std::isfinite(opts.scale))
+    throw std::invalid_argument("eval: workload scale must be a finite number");
+  if (opts.scale <= 0.0)
+    throw std::invalid_argument("eval: workload scale must be > 0, got " +
+                                std::to_string(opts.scale));
 }
 
-}  // namespace
+int scaledIterations(int iters, double scale) {
+  return std::max(4, static_cast<int>(std::lround(iters * scale)));
+}
 
 const std::vector<std::string>& allWorkloads() {
   static const std::vector<std::string> kAll = [] {
     std::vector<std::string> v = ats::benchmarkNames();
     v.push_back("sweep3d_8p");
     v.push_back("sweep3d_32p");
+    const auto& scenarios = scenarioWorkloads();
+    v.insert(v.end(), scenarios.begin(), scenarios.end());
     return v;
   }();
   return kAll;
@@ -26,20 +35,43 @@ const std::vector<std::string>& allWorkloads() {
 
 const std::vector<std::string>& benchmarkWorkloads() { return ats::benchmarkNames(); }
 
+const std::vector<std::string>& scenarioWorkloads() {
+  static const std::vector<std::string> kScenarios = [] {
+    std::vector<std::string> v;
+    for (const std::string& name : scenarioNames())
+      v.push_back(std::string(kScenarioPrefix) + name);
+    return v;
+  }();
+  return kScenarios;
+}
+
 Trace runWorkload(const std::string& name, const WorkloadOptions& opts) {
+  validateWorkloadOptions(opts);
+  if (name.rfind(kScenarioPrefix, 0) == 0)
+    return runScenario(name.substr(kScenarioPrefix.size()), opts);
+  if (isScenario(name)) return runScenario(name, opts);
   if (name == "sweep3d_8p" || name == "sweep3d_32p") {
     sweep3d::Sweep3DConfig cfg =
         name == "sweep3d_8p" ? sweep3d::config8p() : sweep3d::config32p();
-    cfg.iterations = scaled(cfg.iterations, opts.scale);
+    cfg.iterations = scaledIterations(cfg.iterations, opts.scale);
     cfg.seed = opts.seed;
     return sweep3d::runSweep3D(cfg);
   }
-  ats::AtsConfig cfg;
-  cfg.iterations = scaled(cfg.iterations, opts.scale);
-  cfg.interferenceIters = scaled(cfg.interferenceIters, opts.scale);
-  cfg.dynLoadIters = scaled(cfg.dynLoadIters, opts.scale);
-  cfg.seed = opts.seed;
-  return ats::runBenchmark(name, cfg);
+  if (ats::isBenchmark(name)) {
+    ats::AtsConfig cfg;
+    cfg.iterations = scaledIterations(cfg.iterations, opts.scale);
+    cfg.interferenceIters = scaledIterations(cfg.interferenceIters, opts.scale);
+    cfg.dynLoadIters = scaledIterations(cfg.dynLoadIters, opts.scale);
+    cfg.seed = opts.seed;
+    return ats::runBenchmark(name, cfg);
+  }
+  // Suggest across both spellings: the registry ("scenario:x") and the bare
+  // scenario names a typo like "bursty_phase" is actually near.
+  std::vector<std::string> candidates = allWorkloads();
+  const auto& bare = scenarioNames();
+  candidates.insert(candidates.end(), bare.begin(), bare.end());
+  throw std::invalid_argument("eval: unknown workload '" + name + "'" +
+                              didYouMean(name, candidates));
 }
 
 }  // namespace tracered::eval

@@ -1,9 +1,11 @@
 // Workload registry: the paper's 16 benchmarks plus the two Sweep3D runs
-// (Sec. 4), behind one name-indexed factory so every bench binary iterates
-// the same list the paper's figures do.
+// (Sec. 4) plus the parameterized scenario generators (eval/scenarios.hpp),
+// behind one name-indexed factory so every bench binary iterates the same
+// list the paper's figures do.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ats/ats.hpp"
@@ -19,15 +21,36 @@ struct WorkloadOptions {
   std::uint64_t seed = 42;
 };
 
-/// All 18 program names in the paper's presentation order: 5 regular, 10
-/// interference, dyn_load_balance, sweep3d_8p, sweep3d_32p.
+/// Throws std::invalid_argument unless `opts` is usable: scale must be a
+/// finite number > 0. Every runWorkload/runScenario entry point calls this,
+/// so a NaN or non-positive scale can never silently produce a degenerate
+/// 4-iteration trace.
+void validateWorkloadOptions(const WorkloadOptions& opts);
+
+/// `iters` scaled by the options multiplier, floored at 4 iterations — the
+/// one scaling rule every registry workload and scenario shares.
+int scaledIterations(int iters, double scale);
+
+/// Registry namespace prefix for scenario workloads ("scenario:bursty_phases").
+inline constexpr std::string_view kScenarioPrefix = "scenario:";
+
+/// All registered names: the paper's 18 programs (5 regular, 10
+/// interference, dyn_load_balance, sweep3d_8p, sweep3d_32p) followed by the
+/// "scenario:"-prefixed scenario generators.
 const std::vector<std::string>& allWorkloads();
 
-/// The 16 ATS benchmarks (no sweep3d).
+/// The 16 ATS benchmarks (no sweep3d, no scenarios).
 const std::vector<std::string>& benchmarkWorkloads();
 
-/// Runs the named workload and returns its full trace.
-/// Throws std::invalid_argument for unknown names.
+/// The scenario generators, as registered ("scenario:" prefix included).
+const std::vector<std::string>& scenarioWorkloads();
+
+/// Runs the named workload and returns its full trace. Accepts the paper's
+/// names and scenarios in either spelling ("scenario:bursty_phases" as
+/// registered, or bare "bursty_phases"). Scenarios run at their declared
+/// parameter defaults; use eval::runScenario for overrides.
+/// Throws std::invalid_argument for unknown names (with a nearest-candidate
+/// suggestion) and for invalid options.
 Trace runWorkload(const std::string& name, const WorkloadOptions& opts = {});
 
 }  // namespace tracered::eval

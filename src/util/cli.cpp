@@ -32,16 +32,19 @@ CliArgs::CliArgs(int argc, const char* const* argv,
       const auto eq = arg.find('=');
       if (eq != std::string::npos) {
         flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        occurrences_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
         dropValueless(arg.substr(0, eq));
       } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0 &&
                  (!isBoolean(arg) || isBoolWord(argv[i + 1]))) {
         flags_[arg] = argv[++i];
+        occurrences_.emplace_back(arg, argv[i]);
         dropValueless(arg);
       } else {
         // No value token to consume: boolean sentinel. Callers with flag
         // metadata (CliApp) use flagsWithoutValues() to reject value-taking
         // flags that land here instead of silently reading "true".
         flags_[arg] = "true";
+        occurrences_.emplace_back(arg, "true");
         if (!isBoolean(arg)) valueless_.push_back(arg);
       }
     } else {
@@ -53,6 +56,13 @@ CliArgs::CliArgs(int argc, const char* const* argv,
 std::string CliArgs::get(const std::string& key, const std::string& dflt) const {
   const auto it = flags_.find(key);
   return it == flags_.end() ? dflt : it->second;
+}
+
+std::vector<std::string> CliArgs::getAll(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : occurrences_)
+    if (flag == key) values.push_back(value);
+  return values;
 }
 
 std::int64_t CliArgs::getInt(const std::string& key, std::int64_t dflt) const {
@@ -142,6 +152,12 @@ std::string nearestCandidate(const std::string& word,
   return best;
 }
 
+std::string didYouMean(const std::string& word,
+                       const std::vector<std::string>& candidates) {
+  const std::string best = nearestCandidate(word, candidates);
+  return best.empty() ? "" : " (did you mean '" + best + "'?)";
+}
+
 CliApp::CliApp(std::string name, std::string summary)
     : name_(std::move(name)), summary_(std::move(summary)) {}
 
@@ -202,12 +218,11 @@ int CliApp::main(int argc, const char* const* argv) const {
   }
   const CliCommand* command = find(first);
   if (command == nullptr) {
-    std::string msg = name_ + ": unknown command '" + first + "'";
     std::vector<std::string> names;
     names.reserve(commands_.size());
     for (const auto& c : commands_) names.push_back(c.name);
-    const std::string suggestion = nearestCandidate(first, names);
-    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+    const std::string msg =
+        name_ + ": unknown command '" + first + "'" + didYouMean(first, names);
     std::fprintf(stderr, "%s\n\n%s", msg.c_str(), help().c_str());
     return 2;
   }

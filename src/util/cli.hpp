@@ -34,6 +34,11 @@ class CliArgs {
 
   std::string get(const std::string& key, const std::string& dflt = "") const;
 
+  /// Every value the flag was given, in argv order — the accessor for
+  /// repeatable flags (`generate --param a=1 --param b=2`). get() keeps its
+  /// last-occurrence-wins semantics for everything else.
+  std::vector<std::string> getAll(const std::string& key) const;
+
   /// Numeric getters return `dflt` when the flag is absent and throw
   /// UsageError when it is present but not fully parseable — a typo'd
   /// `--threads abc` must be a usage error, never silently 0.
@@ -59,6 +64,8 @@ class CliArgs {
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;
+  /// Every (flag, value) occurrence in argv order, feeding getAll().
+  std::vector<std::pair<std::string, std::string>> occurrences_;
   std::vector<std::string> positional_;
   std::vector<std::string> valueless_;
 };
@@ -87,6 +94,12 @@ std::size_t editDistance(std::string_view a, std::string_view b);
 /// string when nothing qualifies.
 std::string nearestCandidate(const std::string& word,
                              const std::vector<std::string>& candidates);
+
+/// " (did you mean '<best>'?)" for the nearest plausible candidate, or ""
+/// when nothing qualifies — the one suggestion clause every unknown-name
+/// error appends, so the wording (which tests grep for) lives in one place.
+std::string didYouMean(const std::string& word,
+                       const std::vector<std::string>& candidates);
 
 /// One subcommand of a CliApp: metadata for help generation plus the
 /// handler. `flags` doubles as the known-flag set for typo detection.

@@ -1,0 +1,32 @@
+// FNV-1a 64-bit hashing over raw bytes — the checksum behind the
+// golden-corpus regression tests and the bench trajectory rows. FNV-1a is
+// fully specified (no platform-dependent behaviour), so a checksum computed
+// on one machine is comparable on any other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tracered::util {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+/// FNV-1a over `size` bytes, continuing from `state` (chainable).
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t state = kFnv1a64Offset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= p[i];
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// FNV-1a of a whole byte buffer.
+inline std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
+}
+
+}  // namespace tracered::util

@@ -2,6 +2,8 @@
 // consistency, approximation distance semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/methods.hpp"
 #include "eval/evaluation.hpp"
 #include "eval/workloads.hpp"
@@ -16,15 +18,44 @@ WorkloadOptions tiny() {
   return o;
 }
 
-TEST(Workloads, RegistryListsEighteenPrograms) {
-  EXPECT_EQ(allWorkloads().size(), 18u);
+TEST(Workloads, RegistryListsPaperProgramsThenScenarios) {
+  // The paper's 18 programs lead, then the scenario: namespace.
   EXPECT_EQ(benchmarkWorkloads().size(), 16u);
   EXPECT_EQ(allWorkloads()[16], "sweep3d_8p");
   EXPECT_EQ(allWorkloads()[17], "sweep3d_32p");
+  EXPECT_GE(scenarioWorkloads().size(), 6u);
+  EXPECT_EQ(allWorkloads().size(), 18u + scenarioWorkloads().size());
+  for (std::size_t i = 0; i < scenarioWorkloads().size(); ++i) {
+    EXPECT_EQ(allWorkloads()[18 + i], scenarioWorkloads()[i]);
+    EXPECT_EQ(scenarioWorkloads()[i].rfind(kScenarioPrefix, 0), 0u);
+  }
 }
 
-TEST(Workloads, UnknownNameThrows) {
+TEST(Workloads, UnknownNameThrowsWithSuggestion) {
   EXPECT_THROW(runWorkload("not_a_workload", tiny()), std::invalid_argument);
+  try {
+    runWorkload("late_sendr", tiny());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("late_sender"), std::string::npos) << e.what();
+  }
+  // A bare-spelling scenario typo is near the bare name, not the
+  // "scenario:"-prefixed registry entry — the suggestion must still land.
+  try {
+    runWorkload("bursty_phase", tiny());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bursty_phases"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Workloads, OptionsAreValidated) {
+  for (double bad : {0.0, -1.0, std::nan(""), static_cast<double>(INFINITY)}) {
+    WorkloadOptions o;
+    o.scale = bad;
+    EXPECT_THROW(runWorkload("late_sender", o), std::invalid_argument) << bad;
+    EXPECT_THROW(runWorkload("scenario:bursty_phases", o), std::invalid_argument) << bad;
+  }
 }
 
 TEST(Workloads, ScaleControlsIterations) {

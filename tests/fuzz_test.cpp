@@ -4,6 +4,7 @@
 // reduction regressions.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <tuple>
 
@@ -11,10 +12,12 @@
 #include "core/online_reducer.hpp"
 #include "core/reconstruct.hpp"
 #include "core/reducer.hpp"
+#include "eval/workloads.hpp"
 #include "sim/simulator.hpp"
 #include "sim/validate.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/text_io.hpp"
+#include "trace/trace_file.hpp"
 #include "trace/trace_io.hpp"
 #include "util/rng.hpp"
 
@@ -170,6 +173,59 @@ TEST_P(RandomProgram, PipelineInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+// Scenario round trips: every registered scenario generator's output must
+// survive both file formats through both reader modes (whole-buffer and
+// chunked) and the desegment∘segment inverse, byte for byte.
+
+class ScenarioRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioRoundTrip, FilesAndSegmentationRoundTripExactly) {
+  eval::WorkloadOptions opts;
+  opts.scale = 0.05;
+  opts.seed = 11;
+  const Trace trace = eval::runWorkload(GetParam(), opts);
+  const auto bytes = serializeFullTrace(trace);
+
+  std::string stem = GetParam();
+  for (auto& ch : stem)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+
+  // TRF1 on disk: writer emits the canonical bytes; whole-file and chunked
+  // reads reproduce them.
+  const std::string binPath = ::testing::TempDir() + "fuzz_" + stem + ".trf";
+  writeTraceFile(binPath, trace, TraceFileFormat::kFullBinary);
+  EXPECT_EQ(readFile(binPath), bytes);
+  EXPECT_EQ(serializeFullTrace(TraceFileReader(binPath).readAll()), bytes);
+  EXPECT_EQ(serializeFullTrace(TraceFileReader(binPath, /*chunkBytes=*/256).readAll()),
+            bytes);
+
+  // Text on disk: binary -> text -> binary is exact, whole and chunked.
+  const std::string txtPath = ::testing::TempDir() + "fuzz_" + stem + ".txt";
+  writeTraceFile(txtPath, trace, TraceFileFormat::kText);
+  EXPECT_EQ(serializeFullTrace(TraceFileReader(txtPath).readAll()), bytes);
+  EXPECT_EQ(serializeFullTrace(TraceFileReader(txtPath, /*chunkBytes=*/256).readAll()),
+            bytes);
+  EXPECT_EQ(serializeFullTrace(traceFromText(traceToText(trace))), bytes);
+
+  // desegmentTrace is segmentTrace's exact inverse on simulator output.
+  const SegmentedTrace segmented = segmentTrace(trace);
+  ASSERT_GT(segmented.totalSegments(), 0u);
+  EXPECT_EQ(serializeFullTrace(desegmentTrace(segmented, trace.names())), bytes);
+
+  std::remove(binPath.c_str());
+  std::remove(txtPath.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioRoundTrip,
+                         ::testing::ValuesIn(eval::scenarioWorkloads()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (auto& ch : name)
+                             if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           return name;
+                         });
 
 TEST(FuzzTraceIO, CorruptedBinaryInputNeverCrashes) {
   SplitMix64 rng(123);

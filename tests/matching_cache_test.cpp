@@ -1,6 +1,7 @@
 // The matching fast path (shared FeatureCache + norm pre-filters) against
 // the literal uncached Sec. 3.1 loop: bit-identical results for every
-// method on every registered workload, the exec-id range property that
+// method on every registered workload (iterated from eval::allWorkloads(),
+// so the paper's 18 programs AND every scenario), the exec-id range property that
 // catches dangling-representative bugs (iter_k with k <= 0 used to emit
 // execs against SegmentId 0 of an empty store), counter determinism across
 // the serial / parallel / online drivers, and FeatureCache behavior.
@@ -90,7 +91,8 @@ TEST(MatchingCache, FastPathBitIdenticalOnEveryWorkloadAndMethod) {
 }
 
 TEST(MatchingCache, FastPathMatchesParallelAndOnlineDrivers) {
-  for (const std::string& w : {std::string("late_sender"), std::string("sweep3d_8p")}) {
+  for (const std::string& w : {std::string("late_sender"), std::string("sweep3d_8p"),
+                               std::string("scenario:sparse_ranks")}) {
     const Prepared& p = workload(w);
     for (Method m : allMethods()) {
       SCOPED_TRACE(w + " " + methodName(m));

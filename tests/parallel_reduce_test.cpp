@@ -1,13 +1,16 @@
-// The equivalence matrix of the config-driven reduction driver: for every
-// method at its default threshold, offline serial == offline parallel
-// (numThreads 1, 2, 8 and a shared PooledExecutor) == online, with
-// bit-identical ReducedTraces and identical merged ReductionStats. Plus
-// sparse-rank indexing in the online reducer and stats-merge algebra.
+// The equivalence matrix of the config-driven reduction driver, swept over
+// the WHOLE workload registry (the paper's 18 programs + every scenario):
+// for every method at its default threshold, offline serial == offline
+// parallel (numThreads 1, 2, 8 and a shared PooledExecutor) == online ==
+// streaming ReductionSession, with bit-identical ReducedTraces and identical
+// merged ReductionStats. Plus sparse-rank indexing in the online reducer and
+// stats-merge algebra.
 #include <gtest/gtest.h>
 
 #include "core/methods.hpp"
 #include "core/online_reducer.hpp"
 #include "core/reducer.hpp"
+#include "core/reduction_session.hpp"
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
 #include "util/executor.hpp"
@@ -33,6 +36,16 @@ ReductionResult reduceOnline(const Trace& trace, const ReductionConfig& config) 
   return red.finish();
 }
 
+/// The streaming facade, wired the way `tracered reduce --streaming` is.
+ReductionResult reduceStreaming(const Trace& trace, const ReductionConfig& config) {
+  ReductionSession session(trace.names(), config);
+  for (Rank r = 0; r < trace.numRanks(); ++r) {
+    session.ensureRank(r);
+    for (const RawRecord& rec : trace.rank(r).records) session.feed(r, rec);
+  }
+  return session.finish();
+}
+
 void expectIdentical(const ReductionResult& a, const ReductionResult& b,
                      const std::string& what) {
   EXPECT_EQ(a.stats, b.stats) << what;
@@ -42,33 +55,36 @@ void expectIdentical(const ReductionResult& a, const ReductionResult& b,
     EXPECT_EQ(a.reduced.ranks[i], b.reduced.ranks[i]) << what << " rank " << i;
 }
 
-TEST(ParallelReduce, EquivalenceMatrixAllMethods) {
-  const Trace& trace = matrixTrace();
-  const SegmentedTrace segmented = segmentTrace(trace);
-  ASSERT_GE(trace.numRanks(), 2);
+// The registry-driven sweep (the satellite guarantee): on EVERY registered
+// workload — iterated from eval::allWorkloads(), never hand-listed, so new
+// scenarios are covered the moment they register — and for all nine methods,
+// every driver produces bit-identical results.
+TEST(ParallelReduce, RegistryWideDriverEquivalence) {
+  eval::WorkloadOptions opts;
+  opts.scale = 0.06;
+  util::PooledExecutor shared(4);  // one pool reused across the whole sweep
+  for (const std::string& workload : eval::allWorkloads()) {
+    const Trace trace = eval::runWorkload(workload, opts);
+    const SegmentedTrace segmented = segmentTrace(trace);
+    for (Method m : allMethods()) {
+      const ReductionConfig config = ReductionConfig::defaults(m);
+      SCOPED_TRACE(workload + " " + methodName(m));
 
-  util::PooledExecutor shared(4);  // one pool reused across the whole matrix
-  for (Method m : allMethods()) {
-    const ReductionConfig config = ReductionConfig::defaults(m);
-    SCOPED_TRACE(methodName(m));
+      auto policy = config.makePolicy();
+      const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
 
-    auto policy = config.makePolicy();
-    const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
-
-    for (int threads : {1, 2, 8}) {
-      ReductionConfig cfg = config;
-      cfg.numThreads = threads;
-      const ReductionResult parallel = reduceTrace(segmented, trace.names(), cfg);
-      expectIdentical(serial, parallel,
-                      std::string("parallel threads=") + std::to_string(threads));
+      for (int threads : {1, 2, 8}) {
+        ReductionConfig cfg = config;
+        cfg.numThreads = threads;
+        expectIdentical(serial, reduceTrace(segmented, trace.names(), cfg),
+                        "parallel threads=" + std::to_string(threads));
+      }
+      expectIdentical(serial,
+                      reduceTrace(segmented, trace.names(), config.withExecutor(shared)),
+                      "shared pooled executor");
+      expectIdentical(serial, reduceOnline(trace, config), "online");
+      expectIdentical(serial, reduceStreaming(trace, config), "streaming session");
     }
-
-    const ReductionResult pooled =
-        reduceTrace(segmented, trace.names(), config.withExecutor(shared));
-    expectIdentical(serial, pooled, "shared pooled executor");
-
-    const ReductionResult online = reduceOnline(trace, config);
-    expectIdentical(serial, online, "online");
   }
 }
 

@@ -94,7 +94,11 @@ INSTANTIATE_TEST_SUITE_P(
     AllMethodsOnRepresentativeWorkloads, MethodInvariants,
     ::testing::Combine(
         ::testing::Values("late_sender", "imbalance_at_mpi_barrier",
-                          "dyn_load_balance", "1to1r_32"),
+                          "dyn_load_balance", "1to1r_32",
+                          // One scenario per structurally distinct family:
+                          // bursts, idle ranks, sibling contexts.
+                          "scenario:bursty_phases", "scenario:sparse_ranks",
+                          "scenario:multi_region"),
         ::testing::ValuesIn(core::allMethods())),
     [](const ::testing::TestParamInfo<WM>& info) {
       std::string name = std::get<0>(info.param);
@@ -141,7 +145,8 @@ INSTANTIATE_TEST_SUITE_P(ThresholdedMethods, ThresholdMonotonicity,
                          });
 
 // ---------------------------------------------------------------------------
-// Workload sanity across the whole registry.
+// Workload sanity across the whole registry — iterated from allWorkloads()
+// (never hand-listed), so every newly registered scenario is swept for free.
 
 class WorkloadSanity : public ::testing::TestWithParam<std::string> {};
 
@@ -153,8 +158,8 @@ TEST_P(WorkloadSanity, GeneratesSegmentsAndDiagnosis) {
   EXPECT_NE(p.fullCube.dominantWait().callsite, kInvalidName);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSanity,
-                         ::testing::ValuesIn(benchmarkWorkloads()),
+INSTANTIATE_TEST_SUITE_P(WholeRegistry, WorkloadSanity,
+                         ::testing::ValuesIn(allWorkloads()),
                          [](const ::testing::TestParamInfo<std::string>& info) {
                            std::string name = info.param;
                            for (auto& ch : name)

@@ -1,0 +1,120 @@
+// Golden-corpus regression guard: every registered workload and scenario,
+// generated at a fixed (scale, seed), must reproduce exactly the committed
+// record count, serialized size, and FNV-1a checksum of its TRF1 bytes.
+//
+// This pins the determinism guarantee (docs/FORMATS.md §"Determinism"): a
+// generator, simulator, jitter-stream, or serializer change that alters any
+// byte of any workload's output fails here loudly instead of silently
+// shifting every downstream figure. If a change is INTENTIONAL, regenerate
+// the table: the failure message prints the exact replacement row.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/workloads.hpp"
+#include "trace/trace_io.hpp"
+#include "util/hash.hpp"
+
+namespace tracered::eval {
+namespace {
+
+struct GoldenRow {
+  const char* name;
+  int ranks;
+  std::size_t records;
+  std::size_t bytes;
+  std::uint64_t fnv1a;
+};
+
+/// The corpus at WorkloadOptions{scale = 0.1, seed = 42}. Regenerate a row
+/// by copying the "expected row:" line from the failure output.
+const std::vector<GoldenRow>& goldenCorpus() {
+  static const std::vector<GoldenRow> kRows = {
+      {"late_sender", 8, 784, 3965, 0x781180d7ccc91dd9ull},
+      {"late_receiver", 8, 784, 3967, 0x049818136c891a79ull},
+      {"early_gather", 8, 784, 3914, 0xb4549c4d1322e674ull},
+      {"late_broadcast", 8, 784, 4003, 0x05f98e9392b89148ull},
+      {"imbalance_at_mpi_barrier", 8, 784, 3885, 0x51200a670c6fe00eull},
+      {"Nto1_32", 32, 4096, 20112, 0xfd3e82b567ab8f8dull},
+      {"Nto1_1024", 32, 4096, 20118, 0xe74d64199f361430ull},
+      {"1toN_32", 32, 4096, 20219, 0x60715607d9c2a0c2ull},
+      {"1toN_1024", 32, 4096, 20184, 0x78e82fde36a6b968ull},
+      {"1to1s_32", 32, 5376, 29224, 0xa5aae1323b26027eull},
+      {"1to1s_1024", 32, 5376, 29279, 0xf50a444104d6fa3bull},
+      {"1to1r_32", 32, 4096, 20262, 0x3c73c1e332e6c151ull},
+      {"1to1r_1024", 32, 4096, 20326, 0x52c57b81a4a7b8e9ull},
+      {"NtoN_32", 32, 4096, 20059, 0x7667d26d3cbd3bf6ull},
+      {"NtoN_1024", 32, 4096, 20092, 0x7345f1a78f213c11ull},
+      {"dyn_load_balance", 8, 848, 4299, 0xff3354f69917050eull},
+      {"sweep3d_8p", 8, 23424, 130288, 0xd92ac0d5afed2e15ull},
+      {"sweep3d_32p", 32, 324096, 1873842, 0x13e1441070ca6487ull},
+      {"scenario:bursty_phases", 8, 832, 4087, 0xf713782fcd6c6da7ull},
+      {"scenario:drifting_cost", 8, 784, 3847, 0x72a0c68e00eb24d3ull},
+      {"scenario:stragglers", 16, 1280, 6303, 0x449486003f371621ull},
+      {"scenario:sparse_ranks", 32, 1152, 6341, 0xf68a55d13cacfe83ull},
+      {"scenario:multi_region", 8, 1344, 6717, 0x8864c4e1b2430580ull},
+      {"scenario:noise_profile", 16, 1568, 7708, 0x41806387690404dcull},
+      {"scenario:random_walk_cost", 8, 784, 3872, 0x68976bfd51f81149ull},
+  };
+  return kRows;
+}
+
+WorkloadOptions goldenOptions() {
+  WorkloadOptions o;
+  o.scale = 0.1;
+  o.seed = 42;
+  return o;
+}
+
+TEST(ScenarioGolden, CorpusCoversExactlyTheRegistry) {
+  // A workload added to the registry without a golden row (or a row whose
+  // workload was removed) is itself a regression: the corpus must track the
+  // registry 1:1.
+  std::set<std::string> registry(allWorkloads().begin(), allWorkloads().end());
+  std::set<std::string> corpus;
+  for (const GoldenRow& row : goldenCorpus()) corpus.insert(row.name);
+  EXPECT_EQ(corpus, registry);
+}
+
+TEST(ScenarioGolden, EveryGeneratorReproducesItsChecksum) {
+  for (const GoldenRow& row : goldenCorpus()) {
+    SCOPED_TRACE(row.name);
+    const Trace trace = runWorkload(row.name, goldenOptions());
+    const auto bytes = serializeFullTrace(trace);
+    const std::uint64_t hash = util::fnv1a64(bytes);
+    EXPECT_EQ(trace.numRanks(), row.ranks);
+    EXPECT_EQ(trace.totalRecords(), row.records);
+    EXPECT_EQ(bytes.size(), row.bytes);
+    EXPECT_EQ(hash, row.fnv1a);
+    if (trace.numRanks() != row.ranks || trace.totalRecords() != row.records ||
+        bytes.size() != row.bytes || hash != row.fnv1a) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "{\"%s\", %d, %zu, %zu, 0x%016llxull},", row.name,
+                    trace.numRanks(), trace.totalRecords(), bytes.size(),
+                    static_cast<unsigned long long>(hash));
+      ADD_FAILURE() << "generator output drifted; expected row:\n      " << line;
+    }
+  }
+}
+
+TEST(ScenarioGolden, ChecksumIsSeedAndScaleSensitive) {
+  // The corpus pins one (scale, seed) point; make sure the hash actually
+  // moves when either moves, so a frozen-RNG bug cannot hide behind it.
+  WorkloadOptions reseeded = goldenOptions();
+  reseeded.seed = 7;
+  WorkloadOptions rescaled = goldenOptions();
+  rescaled.scale = 0.2;
+  const std::uint64_t base =
+      util::fnv1a64(serializeFullTrace(runWorkload("scenario:bursty_phases", goldenOptions())));
+  EXPECT_NE(util::fnv1a64(serializeFullTrace(runWorkload("scenario:bursty_phases", reseeded))),
+            base);
+  EXPECT_NE(util::fnv1a64(serializeFullTrace(runWorkload("scenario:bursty_phases", rescaled))),
+            base);
+}
+
+}  // namespace
+}  // namespace tracered::eval

@@ -95,6 +95,83 @@ TEST(TraceredCli, GenerateReduceInfoEvalRoundTrip) {
   for (const auto& p : {trf, offline, streamed}) std::remove(p.c_str());
 }
 
+TEST(TraceredCli, ScenarioGenerateIsDeterministicAndParameterized) {
+  const std::string s1 = tmpPath("cli_scen1.trf");
+  const std::string s2 = tmpPath("cli_scen2.trf");
+  const std::string s3 = tmpPath("cli_scen3.trf");
+
+  // --scenario <name>, the scenario:<name> operand, and the bare <name>
+  // operand are the same factory; identical (spec, scale, seed) must write
+  // byte-identical TRF1.
+  const CliResult a =
+      runCli("generate --scenario bursty_phases --scale 0.1 --seed 5 --out " + s1);
+  ASSERT_EQ(a.exitCode, 0) << a.output;
+  const CliResult b =
+      runCli("generate scenario:bursty_phases --scale 0.1 --seed 5 --out " + s2);
+  ASSERT_EQ(b.exitCode, 0) << b.output;
+  EXPECT_EQ(readFile(s1), readFile(s2));
+  const CliResult bare =
+      runCli("generate bursty_phases --scale 0.1 --seed 5 --out " + s2);
+  ASSERT_EQ(bare.exitCode, 0) << bare.output;
+  EXPECT_EQ(readFile(s1), readFile(s2));
+  // Whichever spelling, the report names the registered entry.
+  EXPECT_NE(bare.output.find("scenario:bursty_phases"), std::string::npos) << bare.output;
+
+  // A --param override changes the trace (and info still understands it).
+  const CliResult c = runCli(
+      "generate --scenario bursty_phases --scale 0.1 --seed 5 "
+      "--param burst_factor=9 --param burst_len=6 --out " + s3);
+  ASSERT_EQ(c.exitCode, 0) << c.output;
+  EXPECT_NE(readFile(s1), readFile(s3));
+  const CliResult info = runCli("info " + s3 + " --json");
+  EXPECT_EQ(info.exitCode, 0);
+  EXPECT_NE(info.output.find("\"ranks\":8"), std::string::npos) << info.output;
+
+  // --params prints the declared parameter table.
+  const CliResult params = runCli("generate --scenario bursty_phases --params");
+  EXPECT_EQ(params.exitCode, 0);
+  EXPECT_NE(params.output.find("burst_factor"), std::string::npos) << params.output;
+
+  for (const auto& p : {s1, s2, s3}) std::remove(p.c_str());
+}
+
+TEST(TraceredCli, ScenarioUsageErrorsGetSuggestionsAndExitTwo) {
+  const std::string out = tmpPath("cli_scen_err.trf");
+  // Unknown scenario: did-you-mean, before --out is even required.
+  const CliResult unknown = runCli("generate --scenario bursty_phase");
+  EXPECT_EQ(unknown.exitCode, 2);
+  EXPECT_NE(unknown.output.find("bursty_phases"), std::string::npos) << unknown.output;
+
+  // Unknown parameter key: nearest-candidate suggestion.
+  const CliResult badKey = runCli(
+      "generate --scenario bursty_phases --param burst_fctor=2 --out " + out);
+  EXPECT_EQ(badKey.exitCode, 2);
+  EXPECT_NE(badKey.output.find("burst_factor"), std::string::npos) << badKey.output;
+
+  // The bare-operand typo must get the same suggestion as the prefixed one.
+  const CliResult bareTypo = runCli("generate bursty_phase --out " + out);
+  EXPECT_EQ(bareTypo.exitCode, 2);
+  EXPECT_NE(bareTypo.output.find("bursty_phases"), std::string::npos) << bareTypo.output;
+
+  // Malformed, out-of-range, and fractional-count values, and --param on a
+  // non-scenario.
+  EXPECT_EQ(runCli("generate --scenario bursty_phases --param burst_factor=abc --out " +
+                   out).exitCode, 2);
+  EXPECT_EQ(runCli("generate --scenario stragglers --param ranks=0 --out " + out).exitCode,
+            2);
+  EXPECT_EQ(runCli("generate --scenario stragglers --param ranks=8.5 --out " + out).exitCode,
+            2);
+  EXPECT_EQ(runCli("generate late_sender --param x=1 --out " + out).exitCode, 2);
+  // Invalid scale is a usage error for every workload kind.
+  EXPECT_EQ(runCli("generate late_sender --scale 0 --out " + out).exitCode, 2);
+  EXPECT_EQ(runCli("generate --scenario stragglers --scale -1 --out " + out).exitCode, 2);
+  // The registry listing covers the scenario: namespace.
+  const CliResult list = runCli("generate --list");
+  EXPECT_EQ(list.exitCode, 0);
+  EXPECT_NE(list.output.find("scenario:sparse_ranks"), std::string::npos) << list.output;
+  std::remove(out.c_str());
+}
+
 TEST(TraceredCli, ConvertRoundTripsBinaryThroughText) {
   const std::string trf = tmpPath("cli_conv.trf");
   const std::string txt = tmpPath("cli_conv.txt");

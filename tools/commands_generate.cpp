@@ -1,9 +1,14 @@
-// tracered generate — run a registered eval/ workload and write its full
-// trace to a file (the front of every CLI pipeline; see docs/CLI.md).
+// tracered generate — run a registered eval/ workload or parameterized
+// scenario and write its full trace to a file (the front of every CLI
+// pipeline; see docs/CLI.md). Scenario output is deterministic: the same
+// (scenario, --param set, --scale, --seed) always writes byte-identical
+// TRF1, so pipelines can regenerate instead of archiving inputs.
 #include <cstdio>
+#include <cstdlib>
 
 #include "commands.hpp"
 
+#include "eval/scenarios.hpp"
 #include "eval/workloads.hpp"
 #include "util/table.hpp"
 
@@ -11,34 +16,116 @@ namespace tracered::tools {
 
 namespace {
 
+/// Parses every --param occurrence ("key=value", repeatable) into scenario
+/// overrides. Malformed pairs are usage errors; whether the keys exist is
+/// the scenario spec's call (resolveScenarioParams).
+eval::ScenarioParams parseParamFlags(const CliArgs& args) {
+  eval::ScenarioParams params;
+  for (const std::string& kv : args.getAll("param")) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw UsageError("bad --param '" + kv + "' (expected key=value)");
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+      throw UsageError("bad --param '" + kv + "' (value must be a number)");
+    params[key] = v;
+  }
+  return params;
+}
+
+void printScenarioParams(const eval::ScenarioSpec& spec) {
+  std::printf("scenario:%s — %s\n\nparameters (--param key=value):\n",
+              spec.name.c_str(), spec.summary.c_str());
+  std::size_t width = 0;
+  for (const auto& p : spec.params) width = std::max(width, p.key.size());
+  for (const auto& p : spec.params)
+    std::printf("  %-*s  default %-8g min %-6g %s%s\n", static_cast<int>(width),
+                p.key.c_str(), p.value, p.min, p.help.c_str(),
+                p.integral ? " [integer]" : "");
+}
+
 int runGenerate(const CliArgs& args) {
   if (args.getBool("list")) {
     for (const auto& name : eval::allWorkloads()) std::printf("%s\n", name.c_str());
     return 0;
   }
-  const std::string workload = requirePositional(args, 0, "<workload> (try --list)");
-  const std::string out = requireOut(args);
-  const TraceFileFormat format = parseFormatFlag(args.get("format", "binary"));
+
+  // Resolve the workload name first (before --out), so discovery calls like
+  // `tracered generate --scenario foo` fail on the name, not the flag.
+  std::string workload;
+  if (args.has("scenario")) {
+    if (!args.positional().empty())
+      throw UsageError("give either <workload> or --scenario, not both");
+    workload = std::string(eval::kScenarioPrefix) + args.get("scenario");
+  } else {
+    workload = requirePositional(args, 0, "<workload> (try --list)");
+  }
+
+  // Scenarios are accepted in both spellings, like eval::runWorkload: the
+  // registered "scenario:<name>" and the bare "<name>".
+  const bool prefixed = workload.rfind(eval::kScenarioPrefix, 0) == 0;
+  const std::string bare =
+      prefixed ? workload.substr(eval::kScenarioPrefix.size()) : workload;
+  const bool isScenario = prefixed || eval::isScenario(bare);
+
+  if (isScenario) {
+    const eval::ScenarioSpec* spec = eval::findScenarioSpec(bare);
+    if (spec == nullptr)
+      throw UsageError("unknown scenario '" + bare + "'" +
+                       didYouMean(bare, eval::scenarioNames()) +
+                       "; run 'tracered generate --list'");
+    if (args.getBool("params")) {
+      printScenarioParams(*spec);
+      return 0;
+    }
+  } else {
+    bool known = false;
+    for (const auto& name : eval::allWorkloads()) known = known || name == workload;
+    if (!known) {
+      // Suggest across the registry AND bare scenario spellings, so a typo
+      // like "bursty_phase" still gets its nearest real name.
+      std::vector<std::string> candidates = eval::allWorkloads();
+      const auto& scenarios = eval::scenarioNames();
+      candidates.insert(candidates.end(), scenarios.begin(), scenarios.end());
+      throw UsageError("unknown workload '" + workload + "'" +
+                       didYouMean(workload, candidates) +
+                       "; run 'tracered generate --list'");
+    }
+    if (args.getBool("params"))
+      throw UsageError("'" + workload + "' is not a scenario; --params only applies to scenarios");
+  }
+
+  const eval::ScenarioParams params = parseParamFlags(args);
+  if (!params.empty() && !isScenario)
+    throw UsageError("--param only applies to scenarios (run 'tracered generate --list')");
 
   eval::WorkloadOptions opts;
   opts.scale = args.getDouble("scale", 1.0);
   opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
-
-  // runWorkload throws std::invalid_argument listing nothing useful for
-  // typos; add the registry like the unknown-flag path does.
-  bool known = false;
-  for (const auto& name : eval::allWorkloads()) known = known || name == workload;
-  if (!known) {
-    std::string msg = "unknown workload '" + workload + "'";
-    const std::string suggestion = nearestCandidate(workload, eval::allWorkloads());
-    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
-    throw UsageError(msg + "; run 'tracered generate --list'");
+  // Bad scales and bad parameter values are usage errors (exit 2), not
+  // runtime failures — surface the library's message as one.
+  try {
+    eval::validateWorkloadOptions(opts);
+    if (isScenario)
+      (void)eval::resolveScenarioParams(*eval::findScenarioSpec(bare), params);
+  } catch (const std::invalid_argument& e) {
+    throw UsageError(e.what());
   }
 
-  const Trace trace = eval::runWorkload(workload, opts);
+  const std::string out = requireOut(args);
+  const TraceFileFormat format = parseFormatFlag(args.get("format", "binary"));
+
+  const Trace trace = isScenario ? eval::runScenario(bare, opts, params)
+                                 : eval::runWorkload(workload, opts);
   writeTraceFile(out, trace, format);
+  // Report the registered spelling whichever one the user typed.
+  const std::string display =
+      isScenario ? std::string(eval::kScenarioPrefix) + bare : workload;
   std::printf("wrote %s: %s, %d ranks, %zu records, %s (%s)\n", out.c_str(),
-              workload.c_str(), trace.numRanks(), trace.totalRecords(),
+              display.c_str(), trace.numRanks(), trace.totalRecords(),
               fmtBytes(fileSizeBytes(out)).c_str(), formatName(format));
   return 0;
 }
@@ -49,13 +136,16 @@ CliCommand makeGenerateCommand() {
   CliCommand c;
   c.name = "generate";
   c.usage = "generate <workload> --out <file> [flags]";
-  c.summary = "run a registered workload and write its full trace to a file";
+  c.summary = "run a registered workload or scenario and write its trace to a file";
   c.flags = {
       {"out", "<file>", "output trace file (required)"},
       {"format", "binary|text", "output format (default: binary TRF1)"},
       {"scale", "<f>", "iteration-count multiplier (default 1.0 = paper-size run)"},
       {"seed", "<n>", "workload RNG seed (default 42)"},
-      {"list", "", "list the registered workload names and exit"},
+      {"scenario", "<name>", "run scenario <name> (same as the scenario:<name> operand)"},
+      {"param", "<k=v>", "override one scenario parameter (repeatable)"},
+      {"params", "", "print the scenario's parameter table and exit"},
+      {"list", "", "list the registered workload and scenario names and exit"},
   };
   c.run = runGenerate;
   return c;
