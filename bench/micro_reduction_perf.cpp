@@ -15,16 +15,23 @@
 //     reuse buys over paying spawn/join per call.
 //       {"bench":"rank_scaling","workload":"sweep3d_32p","method":...}
 //   * matching (plain invocation or --matching, also written to
-//     BENCH_matching.json / --matching-out): every method, the literal
-//     uncached Sec. 3.1 loop (setAcceleration(false); note avg/haarWave's
-//     stored-side coefficient cache predates the shared FeatureCache, so
-//     their ms_base is stricter than the historical code) versus the
-//     feature-cached + norm-pruned fast path, verifying bit-identical
-//     output and reporting the hot-loop instrumentation:
+//     BENCH_matching.json / --matching-out): every method across all three
+//     acceleration tiers — the literal uncached Sec. 3.1 loop
+//     (AccelerationTier::kOff), the feature-cached + norm-pruned scan
+//     (kCached), and the per-bucket match index (kIndexed, the default) —
+//     verifying that all three reduce bit-identically and reporting the
+//     hot-loop instrumentation of each:
 //       {"bench":"matching","method":...,"ms_base":...,"ms_cached":...,
-//        "speedup_cached":...,"comparisons":...,"pruned":...,"prune_rate":...}
-//     --small swaps the 32-rank fixture for the small one (the ctest / CI
-//     smoke configuration); a baseline-vs-cached mismatch exits nonzero.
+//        "speedup_cached":...,"ms_indexed":...,"speedup_indexed":...,
+//        "comparisons":...,"pruned":...,"prune_rate":...,
+//        "index_visited":...,"index_pruned":...,"index_prune_rate":...,
+//        "pivot_dist_evals":...,"exact_evals":...}
+//     Two fixtures per run: the main one (late_sender small / sweep3d_32p
+//     full) plus scenario:multi_region — the index's worst-case adversary
+//     (many near-identical representatives per bucket, where the uncached
+//     loop goes quadratic). --small swaps in the reduced-scale fixtures
+//     (the ctest / CI smoke configuration); any identity mismatch on any
+//     row exits nonzero.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -81,6 +88,32 @@ struct WideFixture {
 
 const WideFixture& wide() {
   static WideFixture f;
+  return f;
+}
+
+/// The matching study's adversarial fixture: scenario:multi_region piles
+/// many near-identical segments into the same signature buckets, so the
+/// uncached Sec. 3.1 loop degrades toward quadratic — the case the match
+/// index exists for.
+struct MultiRegionFixture {
+  Trace trace;
+  SegmentedTrace segmented;
+
+  explicit MultiRegionFixture(double scale) {
+    eval::WorkloadOptions opts;
+    opts.scale = scale;
+    trace = eval::runWorkload("scenario:multi_region", opts);
+    segmented = segmentTrace(trace);
+  }
+};
+
+const MultiRegionFixture& multiRegionSmall() {
+  static MultiRegionFixture f(0.4);
+  return f;
+}
+
+const MultiRegionFixture& multiRegionFull() {
+  static MultiRegionFixture f(1.0);
   return f;
 }
 
@@ -231,15 +264,27 @@ bool sameReduction(const core::ReductionResult& a, const core::ReductionResult& 
   return a.stats == b.stats && a.reduced.ranks == b.reduced.ranks;
 }
 
-/// The matching study: baseline (uncached Sec. 3.1 loop) vs the
-/// feature-cached + norm-pruned fast path, per method, verifying
-/// bit-identity. One JSON line per method to stdout AND `outPath` — the
-/// BENCH_matching.json perf trajectory. Returns false on an identity
-/// mismatch (which would mean the fast path changed semantics).
+/// The matching study: the three acceleration tiers (uncached Sec. 3.1
+/// loop / feature-cached + norm-pruned scan / per-bucket match index) per
+/// method on the main fixture AND the adversarial scenario:multi_region
+/// fixture, verifying that all tiers reduce bit-identically. One JSON line
+/// per (workload, method) to stdout AND `outPath` — the BENCH_matching.json
+/// perf trajectory. Returns false on any identity mismatch (which would
+/// mean a fast path changed semantics).
 bool runMatchingStudy(bool small, const char* outPath, int reps) {
-  const Trace& trace = small ? fix().trace : wide().trace;
-  const SegmentedTrace& segmented = small ? fix().segmented : wide().segmented;
-  const char* workload = small ? "late_sender" : "sweep3d_32p";
+  struct Entry {
+    const char* workload;
+    const Trace* trace;
+    const SegmentedTrace* segmented;
+  };
+  const Entry entries[] = {
+      small ? Entry{"late_sender", &fix().trace, &fix().segmented}
+            : Entry{"sweep3d_32p", &wide().trace, &wide().segmented},
+      small ? Entry{"scenario:multi_region", &multiRegionSmall().trace,
+                    &multiRegionSmall().segmented}
+            : Entry{"scenario:multi_region", &multiRegionFull().trace,
+                    &multiRegionFull().segmented},
+  };
 
   // An unwritable cwd only loses the archived copy — the study (and its
   // identity verdict, the reason this function can fail) still runs and
@@ -253,49 +298,63 @@ bool runMatchingStudy(bool small, const char* outPath, int reps) {
     if (out != nullptr) std::fputs(line, out);
   };
 
-  char line[512];
-  std::snprintf(line, sizeof line,
-                "{\"bench\":\"matching\",\"workload\":\"%s\",\"ranks\":%zu,"
-                "\"segments\":%zu,\"reps\":%d}\n",
-                workload, segmented.ranks.size(), segmented.totalSegments(), reps);
-  emit(line);
-
   bool ok = true;
-  for (core::Method m : core::allMethods()) {
-    core::ReductionResult base, cached;
-    const double msBase = bestMillisOf(
-        reps,
-        [&] {
-          auto policy = core::makeDefaultPolicy(m);
-          policy->setAcceleration(false);
-          return core::reduceTrace(segmented, trace.names(), *policy);
-        },
-        &base);
-    const double msCached = bestMillisOf(
-        reps,
-        [&] {
-          auto policy = core::makeDefaultPolicy(m);
-          return core::reduceTrace(segmented, trace.names(), *policy);
-        },
-        &cached);
-    const bool identical = sameReduction(base, cached);
-    ok = ok && identical;
+  char line[768];
+  for (const Entry& e : entries) {
     std::snprintf(line, sizeof line,
-                  "{\"bench\":\"matching\",\"workload\":\"%s\",\"method\":\"%s\","
-                  "\"threshold\":%g,\"ms_base\":%.3f,\"ms_cached\":%.3f,"
-                  "\"speedup_cached\":%.3f,\"comparisons\":%zu,\"pruned\":%zu,"
-                  "\"prune_rate\":%.4f,\"stored\":%zu,\"identical\":%s}\n",
-                  workload, core::methodName(m), core::defaultThreshold(m), msBase,
-                  msCached, msCached > 0 ? msBase / msCached : 0.0,
-                  cached.counters.comparisons, cached.counters.pruned,
-                  cached.counters.pruneRate(), cached.stats.storedSegments,
-                  identical ? "true" : "false");
+                  "{\"bench\":\"matching\",\"workload\":\"%s\",\"ranks\":%zu,"
+                  "\"segments\":%zu,\"reps\":%d}\n",
+                  e.workload, e.segmented->ranks.size(),
+                  e.segmented->totalSegments(), reps);
     emit(line);
-    if (!identical)
-      std::fprintf(stderr,
-                   "micro_reduction_perf: %s: cached result differs from the "
-                   "uncached baseline!\n",
-                   core::methodName(m));
+
+    for (core::Method m : core::allMethods()) {
+      const auto runTier = [&](core::AccelerationTier tier,
+                               core::ReductionResult* res) {
+        return bestMillisOf(
+            reps,
+            [&] {
+              auto policy = core::makeDefaultPolicy(m);
+              policy->setAccelerationTier(tier);
+              return core::reduceTrace(*e.segmented, e.trace->names(), *policy);
+            },
+            res);
+      };
+      core::ReductionResult base, cached, indexed;
+      const double msBase = runTier(core::AccelerationTier::kOff, &base);
+      const double msCached = runTier(core::AccelerationTier::kCached, &cached);
+      const double msIndexed = runTier(core::AccelerationTier::kIndexed, &indexed);
+      const bool identical =
+          sameReduction(base, cached) && sameReduction(base, indexed);
+      ok = ok && identical;
+      // comparisons/pruned/prune_rate stay the cached tier's numbers (the
+      // trajectory the earlier PRs established); the index_* columns and
+      // exact_evals describe the indexed tier. exact_evals vs the baseline's
+      // comparisons is the "exact distance evaluations saved" headline.
+      std::snprintf(
+          line, sizeof line,
+          "{\"bench\":\"matching\",\"workload\":\"%s\",\"method\":\"%s\","
+          "\"threshold\":%g,\"ms_base\":%.3f,\"ms_cached\":%.3f,"
+          "\"speedup_cached\":%.3f,\"ms_indexed\":%.3f,\"speedup_indexed\":%.3f,"
+          "\"comparisons\":%zu,\"pruned\":%zu,\"prune_rate\":%.4f,"
+          "\"index_visited\":%zu,\"index_pruned\":%zu,\"index_prune_rate\":%.4f,"
+          "\"pivot_dist_evals\":%zu,\"exact_evals\":%zu,\"stored\":%zu,"
+          "\"identical\":%s}\n",
+          e.workload, core::methodName(m), core::defaultThreshold(m), msBase,
+          msCached, msCached > 0 ? msBase / msCached : 0.0, msIndexed,
+          msIndexed > 0 ? msBase / msIndexed : 0.0, cached.counters.comparisons,
+          cached.counters.pruned, cached.counters.pruneRate(),
+          indexed.counters.indexVisited, indexed.counters.indexPruned,
+          indexed.counters.indexPruneRate(), indexed.counters.pivotDistEvals,
+          indexed.counters.exactEvals(), indexed.stats.storedSegments,
+          identical ? "true" : "false");
+      emit(line);
+      if (!identical)
+        std::fprintf(stderr,
+                     "micro_reduction_perf: %s/%s: accelerated result differs "
+                     "from the uncached baseline!\n",
+                     e.workload, core::methodName(m));
+    }
   }
   if (out != nullptr) std::fclose(out);
   std::fflush(stdout);

@@ -51,7 +51,9 @@ std::string ReductionConfig::toString() const {
 }
 
 std::unique_ptr<SimilarityPolicy> ReductionConfig::makePolicy() const {
-  return core::makePolicy(method, threshold);
+  std::unique_ptr<SimilarityPolicy> policy = core::makePolicy(method, threshold);
+  policy->setAccelerationTier(acceleration);
+  return policy;
 }
 
 ReductionConfig ReductionConfig::withExecutor(util::Executor& exec) const {

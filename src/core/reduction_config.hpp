@@ -35,6 +35,10 @@ struct ReductionConfig {
   double threshold = 0.8;  // defaultThreshold(kRelDiff)
   int numThreads = 1;
   util::Executor* executor = nullptr;
+  /// Matching fast path handed to makePolicy(). Every tier produces
+  /// bit-identical results (tested); kOff/kCached exist for benchmarking the
+  /// tiers against each other and for identity tests.
+  AccelerationTier acceleration = AccelerationTier::kIndexed;
 
   /// Config at the paper's default ("best") threshold for `m`.
   static ReductionConfig defaults(Method m);

@@ -61,8 +61,16 @@ class FeatureCache {
 };
 
 /// Per-rank representative store. Ids are dense indices in store order.
+///
+/// Every store carries a process-unique `generation()` token, renewed by
+/// `clear()`: derived state keyed by SegmentId (a policy's FeatureCache and
+/// match indexes) records the (store, generation) pair it was built against
+/// and discards itself when either changes, so clearing a store can never
+/// leak stale features onto the reused ids.
 class SegmentStore {
  public:
+  SegmentStore();
+
   /// Adds a new representative. The stored copy keeps its relative event
   /// times and gets absStart reset to 0 (the representative stands for all
   /// executions, not a particular one). Returns the assigned id.
@@ -86,9 +94,20 @@ class SegmentStore {
   const std::vector<Segment>& all() const { return segments_; }
   std::vector<Segment> takeAll() && { return std::move(segments_); }
 
+  /// Removes every representative and bucket, and renews generation() so
+  /// any policy-side derived state (FeatureCache, match indexes) built
+  /// against this store invalidates itself instead of serving stale
+  /// features for the reused ids (regression-tested).
+  void clear();
+
+  /// Process-unique token identifying this store's current id space (new
+  /// value per construction and per clear()).
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::vector<Segment> segments_;
   std::unordered_map<std::uint64_t, std::vector<SegmentId>> buckets_;
+  std::uint64_t generation_;
   static const std::vector<SegmentId> kEmpty;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -10,18 +11,6 @@
 namespace tracered::core {
 
 namespace {
-
-/// Conservative comparison for pre-filters: true only when `value` exceeds
-/// `bound` by more than a safety margin covering floating-point rounding in
-/// the bound's derivation. `scale` is the magnitude of the quantities the
-/// derivation subtracted (e.g. the two norms), whose cancellation dominates
-/// the rounding error; the margin (1e-9 relative) sits orders of magnitude
-/// above the worst accumulation error of any realistic vector length, so a
-/// pre-filter can never reject a pair the full test would accept — it only
-/// passes borderline pairs through to the exact test.
-bool provablyExceeds(double value, double bound, double scale) {
-  return value > bound + 1e-9 * (scale + std::fabs(bound) + 1.0);
-}
 
 double maxAbsOf(const std::vector<double>& v) {
   double m = 0.0;
@@ -35,6 +24,8 @@ double l2Norm(const std::vector<double>& v) {
   return std::sqrt(acc);
 }
 
+double endKey(const Segment& s) { return std::fabs(static_cast<double>(s.end)); }
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -42,23 +33,56 @@ double l2Norm(const std::vector<double>& v) {
 
 std::optional<SegmentId> DistancePolicy::tryMatch(const Segment& candidate,
                                                   SegmentStore& store) {
-  const auto& bucket = store.bucket(candidate.signature());
+  // Bind before the empty-bucket return: onStored fires for this store even
+  // when the candidate found nothing to compare against, and the cache it
+  // writes must not mix id spaces.
+  if (tier_ != AccelerationTier::kOff) bindStore(store);
+
+  const std::uint64_t signature = candidate.signature();
+  const auto& bucket = store.bucket(signature);
   if (bucket.empty()) return std::nullopt;
 
-  if (!accelerated_) {
-    // The literal Sec. 3.1 loop: recompute any derived data per pair.
+  switch (tier_) {
+    case AccelerationTier::kOff: {
+      // The literal Sec. 3.1 loop: recompute any derived data per pair.
+      for (SegmentId id : bucket) {
+        ++counters_.comparisons;
+        const Segment& stored = store.segment(id);
+        if (!candidate.compatible(stored)) continue;  // signature collision guard
+        if (similar(candidate, stored)) return id;
+      }
+      return std::nullopt;
+    }
+    case AccelerationTier::kCached:
+      return tryMatchCached(candidate, store, bucket);
+    case AccelerationTier::kIndexed:
+      return tryMatchIndexed(candidate, store, bucket, signature);
+  }
+  return std::nullopt;
+}
+
+std::optional<SegmentId> DistancePolicy::tryMatchCached(
+    const Segment& candidate, SegmentStore& store,
+    const std::vector<SegmentId>& bucket) {
+  if (indexKind() == IndexKind::kEndInterval) {
+    // Element-wise methods: there is nothing worth preparing per pair — the
+    // only derivable datum is the O(1) segment end, and the end pair is
+    // already one conjunct of similar()'s short-circuiting walk, so any
+    // per-entry pre-filter just repeats it. The scan IS the base loop; the
+    // end-window arithmetic only pays off in the indexed tier, where the
+    // sorted side array amortizes it across the whole bucket.
     for (SegmentId id : bucket) {
       ++counters_.comparisons;
       const Segment& stored = store.segment(id);
-      if (!candidate.compatible(stored)) continue;  // signature collision guard
+      if (!candidate.compatible(stored)) continue;
       if (similar(candidate, stored)) return id;
     }
     return std::nullopt;
   }
 
-  // Fast path: candidate features once per consume(), stored features from
-  // the cache, pre-filter before any full vector walk. Scan order and the
-  // first accepted id are identical to the slow path.
+  // Metric methods: candidate features once per consume(), stored features
+  // from the cache, norm pre-filter before any full vector walk. Scan order
+  // and the first accepted id are identical to the uncached path.
   const SegmentFeatures fc = features(candidate);
   for (SegmentId id : bucket) {
     ++counters_.comparisons;
@@ -75,8 +99,110 @@ std::optional<SegmentId> DistancePolicy::tryMatch(const Segment& candidate,
   return std::nullopt;
 }
 
+std::optional<SegmentId> DistancePolicy::tryMatchIndexed(
+    const Segment& candidate, SegmentStore& store,
+    const std::vector<SegmentId>& bucket, std::uint64_t signature) {
+  if (indexKind() == IndexKind::kEndInterval) {
+    // Below the activation population the index cannot recoup its own
+    // bookkeeping — run the cached tier's lean window-prefiltered scan.
+    // Buckets only grow, so the switchover happens once per bucket.
+    if (bucket.size() < EndIntervalIndex::kActivation)
+      return tryMatchCached(candidate, store, bucket);
+
+    EndIntervalIndex& index = endIndex_[signature];
+    index.sync(bucket, [&](SegmentId id) { return endKey(store.segment(id)); });
+
+    const KeyWindow window = admissibleEndWindow(endKey(candidate));
+    if (!index.anyInWindow(window)) {
+      counters_.indexPruned += index.entries();
+      return std::nullopt;
+    }
+    if (index.coversAll(window)) {
+      // The window admits every stored end — per-entry checks would all
+      // pass, so run the plain scan (same result, same counters).
+      for (SegmentId id : bucket) {
+        ++counters_.comparisons;
+        const Segment& stored = store.segment(id);
+        if (!candidate.compatible(stored)) continue;
+        ++counters_.indexVisited;
+        if (similar(candidate, stored)) return id;
+      }
+      return std::nullopt;
+    }
+    // Store-order walk with the O(1) window check — the Sec. 3.1 loop's
+    // first-match short-circuit, minus the entries the window excludes.
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (!window.contains(index.keyAt(i))) {
+        ++counters_.indexPruned;
+        continue;
+      }
+      ++counters_.comparisons;
+      const Segment& stored = store.segment(bucket[i]);
+      if (!candidate.compatible(stored)) continue;
+      ++counters_.indexVisited;
+      if (similar(candidate, stored)) return bucket[i];
+    }
+    return std::nullopt;
+  }
+
+  MetricBucketIndex& index = metricIndex_[signature];
+  const auto featuresOf = [&](SegmentId id) -> const SegmentFeatures& {
+    return cache_.getOrCompute(id, [&] { return features(store.segment(id)); });
+  };
+  // Signature collisions can put different-length vectors in one bucket; a
+  // cross-length "distance" is meaningless for the triangle bounds, so feed
+  // the index NaN — every NaN comparison is false, so the affected pivot
+  // bounds simply never prune (the compatible guard keeps exactness).
+  const auto distanceOf = [&](const SegmentFeatures& fa, const SegmentFeatures& fb) {
+    return fa.vec.size() == fb.vec.size()
+               ? pairDistance(fa, fb)
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+  index.sync(bucket, featuresOf, distanceOf, counters_);
+
+  const SegmentFeatures fc = features(candidate);
+  return index.query(
+      fc, indexThreshold(), featuresOf, distanceOf,
+      [&](SegmentId id) { return candidate.compatible(store.segment(id)); },
+      [&](SegmentId id) {
+        return similarPrepared(candidate, fc, store.segment(id), featuresOf(id));
+      },
+      counters_);
+}
+
 void DistancePolicy::onStored(const Segment& segment, SegmentId id) {
-  if (accelerated_) cache_.put(id, features(segment));
+  // Element-wise methods derive everything O(1) from the segment itself; only
+  // the metric methods bank features (vector + norms) for the stored side.
+  if (tier_ == AccelerationTier::kOff) return;
+  if (indexKind() == IndexKind::kMetricPivot) cache_.put(id, features(segment));
+}
+
+void DistancePolicy::resetDerivedState() {
+  cache_.clear();
+  metricIndex_.clear();
+  endIndex_.clear();
+  boundStore_ = nullptr;
+  boundGeneration_ = 0;
+}
+
+void DistancePolicy::bindStore(const SegmentStore& store) {
+  if (boundStore_ == &store && boundGeneration_ == store.generation()) return;
+  resetDerivedState();
+  boundStore_ = &store;
+  boundGeneration_ = store.generation();
+}
+
+SegmentFeatures DistancePolicy::features(const Segment&) const {
+  throw std::logic_error(name() + ": features requires a kMetricPivot policy");
+}
+
+double DistancePolicy::pairDistance(const SegmentFeatures&,
+                                    const SegmentFeatures&) const {
+  throw std::logic_error(name() + ": pairDistance requires a kMetricPivot policy");
+}
+
+KeyWindow DistancePolicy::admissibleEndWindow(double) const {
+  throw std::logic_error(name() + ": admissibleEndWindow requires a kEndInterval policy");
 }
 
 // ---------------------------------------------------------------------------
@@ -93,22 +219,8 @@ bool RelDiffPolicy::similar(const Segment& a, const Segment& b) const {
       a, b, [this](double x, double y) { return relDiff(x, y) <= threshold_; });
 }
 
-SegmentFeatures RelDiffPolicy::features(const Segment& s) const {
-  // O(1) feature: the segment end. The element-wise methods walk the
-  // segments directly in the full test (which short-circuits on the first
-  // failing pair), so an O(measurements) candidate feature would cost more
-  // than pruning saves.
-  SegmentFeatures f;
-  f.maxAbs = std::fabs(static_cast<double>(s.end));
-  f.norm = f.maxAbs;
-  return f;
-}
-
-bool RelDiffPolicy::prefilterRejects(const SegmentFeatures& fa,
-                                     const SegmentFeatures& fb) const {
-  // The end pair is one conjunct of the full test, evaluated with the same
-  // arithmetic — an exact reject, no floating-point slack needed.
-  return relDiff(fa.maxAbs, fb.maxAbs) > threshold_;
+KeyWindow RelDiffPolicy::admissibleEndWindow(double candEnd) const {
+  return admissibleEndWindowRel(candEnd, threshold_);
 }
 
 // ---------------------------------------------------------------------------
@@ -119,18 +231,8 @@ bool AbsDiffPolicy::similar(const Segment& a, const Segment& b) const {
       a, b, [this](double x, double y) { return std::fabs(x - y) <= threshold_; });
 }
 
-SegmentFeatures AbsDiffPolicy::features(const Segment& s) const {
-  // O(1) feature: the segment end (see RelDiffPolicy::features).
-  SegmentFeatures f;
-  f.maxAbs = std::fabs(static_cast<double>(s.end));
-  f.norm = f.maxAbs;
-  return f;
-}
-
-bool AbsDiffPolicy::prefilterRejects(const SegmentFeatures& fa,
-                                     const SegmentFeatures& fb) const {
-  // The end pair is one conjunct of the full test — an exact reject.
-  return std::fabs(fa.maxAbs - fb.maxAbs) > threshold_;
+KeyWindow AbsDiffPolicy::admissibleEndWindow(double candEnd) const {
+  return admissibleEndWindowAbs(candEnd, threshold_);
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +304,11 @@ bool MinkowskiPolicy::similarPrepared(const Segment&, const SegmentFeatures& fa,
   return dist <= threshold_ * std::max(fa.maxAbs, fb.maxAbs);
 }
 
+double MinkowskiPolicy::pairDistance(const SegmentFeatures& fa,
+                                     const SegmentFeatures& fb) const {
+  return distance(order_, fa.vec, fb.vec);
+}
+
 // ---------------------------------------------------------------------------
 // Wavelet methods
 
@@ -236,6 +343,11 @@ bool WaveletPolicy::similarPrepared(const Segment&, const SegmentFeatures& fa,
   return dist <= threshold_ * std::max(fa.maxAbs, fb.maxAbs);
 }
 
+double WaveletPolicy::pairDistance(const SegmentFeatures& fa,
+                                   const SegmentFeatures& fb) const {
+  return wavelet::euclideanDistance(fa.vec, fb.vec);
+}
+
 // ---------------------------------------------------------------------------
 // iter_k
 
@@ -245,20 +357,57 @@ IterKPolicy::IterKPolicy(int k) : k_(k) {
                                 std::to_string(k));
 }
 
+void IterKPolicy::beginRank() {
+  classIndex_.clear();
+  boundStore_ = nullptr;
+  boundGeneration_ = 0;
+}
+
 std::optional<SegmentId> IterKPolicy::tryMatch(const Segment& candidate,
                                                SegmentStore& store) {
-  const auto& bucket = store.bucket(candidate.signature());
-  int compatibleCount = 0;
-  SegmentId last = 0;
-  for (SegmentId id : bucket) {
-    ++counters_.comparisons;
-    if (candidate.compatible(store.segment(id))) {
-      ++compatibleCount;
-      last = id;
+  const std::uint64_t signature = candidate.signature();
+  const auto& bucket = store.bucket(signature);
+
+  if (tier_ != AccelerationTier::kIndexed) {
+    // The literal counting loop: iter_k needs the number of compatible
+    // representatives, and has no features to cache — the off and cached
+    // tiers coincide.
+    int compatibleCount = 0;
+    SegmentId last = 0;
+    for (SegmentId id : bucket) {
+      ++counters_.comparisons;
+      if (candidate.compatible(store.segment(id))) {
+        ++compatibleCount;
+        last = id;
+      }
     }
+    if (compatibleCount < k_) return std::nullopt;  // still collecting
+    return last;  // footnote 1: fill with the last collected segment
   }
-  if (compatibleCount < k_) return std::nullopt;  // still collecting
-  return last;  // footnote 1: fill with the last collected segment
+
+  if (boundStore_ != &store || boundGeneration_ != store.generation()) {
+    classIndex_.clear();
+    boundStore_ = &store;
+    boundGeneration_ = store.generation();
+  }
+  // Compatibility is an equivalence relation, so one comparison per class
+  // exemplar answers both "how many compatible representatives exist" and
+  // "which was stored last" — identical to the counting loop's result.
+  CompatClassIndex& index = classIndex_[signature];
+  index.sync(
+      bucket,
+      [&](SegmentId a, SegmentId b) {
+        return store.segment(a).compatible(store.segment(b));
+      },
+      counters_);
+  const CompatClassIndex::ClassCount* cls = index.find(
+      [&](SegmentId exemplar) {
+        return candidate.compatible(store.segment(exemplar));
+      },
+      counters_);
+  if (cls == nullptr || cls->count < static_cast<std::size_t>(k_))
+    return std::nullopt;
+  return cls->last;
 }
 
 // ---------------------------------------------------------------------------

@@ -8,55 +8,53 @@
 // matches once k representatives exist; iter_avg always matches and folds
 // the new measurements into a running average).
 //
-// The matching hot path is accelerated transparently: every distance policy
-// derives per-segment features (measurement/coefficient vector, pruning
-// norm, largest measurement) ONCE per candidate and caches them per stored
-// representative in a FeatureCache populated via onStored, and a
-// conservative norm pre-filter (reverse triangle inequality against the
-// Eq. 1 acceptance bound) rejects provably-dissimilar pairs before any full
-// vector walk. First-match-in-store-order semantics are bit-identical with
-// the literal uncached Sec. 3.1 loop (setAcceleration(false), kept for
-// benchmarking and identity tests).
+// The matching hot path has three acceleration tiers (see the README's
+// "Accelerated matching" section for the bound derivations, and
+// core/match_index.hpp for the index structures):
+//
+//   kOff     — the literal uncached Sec. 3.1 loop, recomputing any derived
+//              data per pair. Kept for benchmarking and identity tests.
+//   kCached  — per-segment features (measurement/coefficient vector, pruning
+//              norm, largest measurement) derived ONCE per candidate and
+//              cached per stored representative in a FeatureCache populated
+//              via onStored, with a conservative norm pre-filter (reverse
+//              triangle inequality against the Eq. 1 acceptance bound)
+//              rejecting provably-dissimilar pairs before any full vector
+//              walk. The element-wise methods (relDiff/absDiff), whose
+//              policies use neither a feature vector nor a pruning norm,
+//              skip the feature machinery entirely — their scan IS the base
+//              loop, so acceleration is never a net loss on short-vector
+//              workloads.
+//   kIndexed — the default: a per-bucket metric pivot index (norm-sorted
+//              entries + triangle-inequality pivot bounds) for the metric
+//              methods, an exact end-measurement interval index for
+//              relDiff/absDiff, and a compatibility-class count index for
+//              iter_k, each queried instead of scanning every stored
+//              representative.
+//
+// Every tier visits the surviving candidates in store order and decides each
+// with the exact comparison, so first-match semantics — and therefore the
+// entire reduction output — are bit-identical across tiers by construction
+// (tested on every method × every registered workload).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "core/match_index.hpp"
 #include "core/segment_store.hpp"
 #include "trace/segment.hpp"
 
 namespace tracered::core {
 
-/// Matching-loop instrumentation: representatives scanned and pre-filter
-/// rejections. Deterministic per rank (the scan is a pure function of the
-/// rank's segments and the config), so totals agree across the serial,
-/// parallel, and online drivers.
-struct MatchCounters {
-  std::size_t comparisons = 0;  ///< Stored representatives examined by tryMatch.
-  std::size_t pruned = 0;       ///< Rejected by a norm pre-filter alone (no
-                                ///< full vector walk).
-
-  void merge(const MatchCounters& other) {
-    comparisons += other.comparisons;
-    pruned += other.pruned;
-  }
-
-  /// pruned / comparisons; 0 when nothing was scanned.
-  double pruneRate() const {
-    return comparisons == 0
-               ? 0.0
-               : static_cast<double>(pruned) / static_cast<double>(comparisons);
-  }
-
-  friend MatchCounters operator-(MatchCounters a, const MatchCounters& b) {
-    a.comparisons -= b.comparisons;
-    a.pruned -= b.pruned;
-    return a;
-  }
-  friend bool operator==(const MatchCounters&, const MatchCounters&) = default;
-};
+/// Matching fast-path selection; see the tier descriptions above. Results
+/// are bit-identical for every tier; only the wall clock differs.
+enum class AccelerationTier { kOff, kCached, kIndexed };
 
 /// Interface the reducer drives. Policies are stateful per reduction run and
 /// are reset per rank (reduction is intra-process; Sec. 3).
@@ -87,48 +85,70 @@ class SimilarityPolicy {
   /// are finalized into the reduced trace (iter_avg writes back averages).
   virtual void finishRank(SegmentStore& store) { (void)store; }
 
-  /// Toggles the feature-cache + pre-filter fast path (on by default). Off
-  /// is the literal uncached Sec. 3.1 loop; results are bit-identical either
-  /// way (tested), so this exists only for benchmarking the fast path and
-  /// for identity tests. Flip before feeding candidates.
-  void setAcceleration(bool on) { accelerated_ = on; }
-  bool accelerationEnabled() const { return accelerated_; }
+  /// Selects the matching fast path (kIndexed by default). Results are
+  /// bit-identical for every tier (tested), so this exists for benchmarking
+  /// the tiers against each other and for identity tests. Flip before
+  /// feeding candidates.
+  void setAccelerationTier(AccelerationTier tier) { tier_ = tier; }
+  AccelerationTier accelerationTier() const { return tier_; }
+
+  /// Compatibility switch: on = the default indexed tier, off = the literal
+  /// uncached Sec. 3.1 loop.
+  void setAcceleration(bool on) {
+    tier_ = on ? AccelerationTier::kIndexed : AccelerationTier::kOff;
+  }
+  bool accelerationEnabled() const { return tier_ != AccelerationTier::kOff; }
 
   /// Cumulative instrumentation over this policy's lifetime (never reset by
   /// beginRank; consumers diff snapshots, see RankReductionEngine).
   const MatchCounters& matchCounters() const { return counters_; }
 
  protected:
-  bool accelerated_ = true;
+  AccelerationTier tier_ = AccelerationTier::kIndexed;
   MatchCounters counters_;
 };
 
 /// Base for the feature-vector similarity methods (the Sec. 3.2.1 distances
-/// and the wavelet methods): scans the signature bucket in store order and
-/// returns the first representative for which the ≈ test holds — exactly
-/// the paper's compareSegments loop (context/length/id compatibility is
-/// checked via the signature bucket plus an explicit `compatible` guard).
+/// and the wavelet methods): finds the first representative in store order
+/// for which the ≈ test holds — exactly the paper's compareSegments loop
+/// (context/length/id compatibility is checked via the signature bucket plus
+/// an explicit `compatible` guard).
 ///
-/// The accelerated scan computes the candidate's features once per tryMatch,
+/// The cached tier computes the candidate's features once per tryMatch,
 /// reads stored features from the FeatureCache (populated in onStored,
 /// lazily filled for representatives added behind the policy's back), and
-/// runs `prefilterRejects` — which may only reject pairs the full test
-/// would provably reject — before `similarPrepared`. The first accepted id
-/// is therefore identical with acceleration on or off.
+/// runs `prefilterRejects` — which may only reject pairs the full test would
+/// provably reject — before `similarPrepared`. The indexed tier additionally
+/// keeps a per-bucket MetricBucketIndex (metric methods) or
+/// EndIntervalIndex (element-wise methods), synced lazily against the
+/// store's bucket, and visits only the candidates the index admits. The
+/// first accepted id is identical in every tier.
 class DistancePolicy : public SimilarityPolicy {
  public:
   std::optional<SegmentId> tryMatch(const Segment& candidate,
                                     SegmentStore& store) override;
-  void beginRank() override { cache_.clear(); }
+  void beginRank() override { resetDerivedState(); }
   void onStored(const Segment& segment, SegmentId id) override;
 
  protected:
+  /// Which indexed-tier structure serves this method.
+  enum class IndexKind {
+    kMetricPivot,  ///< Eq. 1 acceptance over a true metric: norm window +
+                   ///< pivot bounds (Minkowski and wavelet methods).
+    kEndInterval,  ///< Element-wise conjunction including the end pair:
+                   ///< admissible end window (relDiff/absDiff).
+  };
+  virtual IndexKind indexKind() const = 0;
+
   /// The ≈ test between two compatible segments — the uncached slow path,
   /// recomputing any derived data per pair.
   virtual bool similar(const Segment& a, const Segment& b) const = 0;
 
-  /// Derived features of one segment for the fast path.
-  virtual SegmentFeatures features(const Segment& s) const = 0;
+  /// kMetricPivot only: derived features of one segment (vector + norms) for
+  /// the cached and indexed fast paths. The element-wise methods never
+  /// prepare features — their only derivable datum is the O(1) segment end,
+  /// read directly by their tiers.
+  virtual SegmentFeatures features(const Segment& s) const;
 
   /// Conservative pre-filter: may return true ONLY when (fa, fb) provably
   /// fails `similar` (implementations keep a floating-point safety margin so
@@ -150,8 +170,41 @@ class DistancePolicy : public SimilarityPolicy {
     return similar(a, b);
   }
 
+  /// kMetricPivot only: the exact pairwise distance on prepared features —
+  /// the same arithmetic `similarPrepared` thresholds, reused by the index
+  /// for pivot distances.
+  virtual double pairDistance(const SegmentFeatures& fa,
+                              const SegmentFeatures& fb) const;
+
+  /// kMetricPivot only: the Eq. 1 threshold (bound = threshold *
+  /// max(maxAbs of the pair)).
+  virtual double indexThreshold() const { return 0.0; }
+
+  /// kEndInterval only: the admissible stored-end window for a candidate
+  /// ending at `candEnd` — conservative per the method's threshold algebra.
+  virtual KeyWindow admissibleEndWindow(double candEnd) const;
+
  private:
+  std::optional<SegmentId> tryMatchCached(const Segment& candidate,
+                                          SegmentStore& store,
+                                          const std::vector<SegmentId>& bucket);
+  std::optional<SegmentId> tryMatchIndexed(const Segment& candidate,
+                                           SegmentStore& store,
+                                           const std::vector<SegmentId>& bucket,
+                                           std::uint64_t signature);
+
+  /// Discards every piece of state derived from a store's id space.
+  void resetDerivedState();
+
+  /// Invalidates the derived state when `store` is not the one it was built
+  /// against (different store, or the same store after clear()).
+  void bindStore(const SegmentStore& store);
+
   FeatureCache cache_;  ///< Stored-side features, indexed by SegmentId.
+  std::unordered_map<std::uint64_t, MetricBucketIndex> metricIndex_;
+  std::unordered_map<std::uint64_t, EndIntervalIndex> endIndex_;
+  const SegmentStore* boundStore_ = nullptr;
+  std::uint64_t boundGeneration_ = 0;
 };
 
 /// relDiff (Sec. 3.2.1): every paired measurement must satisfy
@@ -167,10 +220,9 @@ class RelDiffPolicy final : public DistancePolicy {
   static double relDiff(double a, double b);
 
  protected:
+  IndexKind indexKind() const override { return IndexKind::kEndInterval; }
   bool similar(const Segment& a, const Segment& b) const override;
-  SegmentFeatures features(const Segment& s) const override;
-  bool prefilterRejects(const SegmentFeatures& fa,
-                        const SegmentFeatures& fb) const override;
+  KeyWindow admissibleEndWindow(double candEnd) const override;
 
  private:
   double threshold_;
@@ -183,10 +235,9 @@ class AbsDiffPolicy final : public DistancePolicy {
   std::string name() const override { return "absDiff"; }
 
  protected:
+  IndexKind indexKind() const override { return IndexKind::kEndInterval; }
   bool similar(const Segment& a, const Segment& b) const override;
-  SegmentFeatures features(const Segment& s) const override;
-  bool prefilterRejects(const SegmentFeatures& fa,
-                        const SegmentFeatures& fb) const override;
+  KeyWindow admissibleEndWindow(double candEnd) const override;
 
  private:
   double threshold_;
@@ -210,12 +261,16 @@ class MinkowskiPolicy final : public DistancePolicy {
                          const std::vector<double>& b);
 
  protected:
+  IndexKind indexKind() const override { return IndexKind::kMetricPivot; }
   bool similar(const Segment& a, const Segment& b) const override;
   SegmentFeatures features(const Segment& s) const override;
   bool prefilterRejects(const SegmentFeatures& fa,
                         const SegmentFeatures& fb) const override;
   bool similarPrepared(const Segment& a, const SegmentFeatures& fa,
                        const Segment& b, const SegmentFeatures& fb) const override;
+  double pairDistance(const SegmentFeatures& fa,
+                      const SegmentFeatures& fb) const override;
+  double indexThreshold() const override { return threshold_; }
 
  private:
   Order order_;
@@ -238,12 +293,16 @@ class WaveletPolicy final : public DistancePolicy {
   std::vector<double> transform(const Segment& s) const;
 
  protected:
+  IndexKind indexKind() const override { return IndexKind::kMetricPivot; }
   bool similar(const Segment& a, const Segment& b) const override;
   SegmentFeatures features(const Segment& s) const override;
   bool prefilterRejects(const SegmentFeatures& fa,
                         const SegmentFeatures& fb) const override;
   bool similarPrepared(const Segment& a, const SegmentFeatures& fa,
                        const Segment& b, const SegmentFeatures& fb) const override;
+  double pairDistance(const SegmentFeatures& fa,
+                      const SegmentFeatures& fb) const override;
+  double indexThreshold() const override { return threshold_; }
 
  private:
   Kind kind_;
@@ -254,18 +313,26 @@ class WaveletPolicy final : public DistancePolicy {
 /// later execution "matches" and — per the paper's footnote 1 — is recorded
 /// against the *last* stored representative so reconstruction fills gaps
 /// with the most recent collected segment.
+///
+/// Accelerated tryMatch answers from a per-bucket CompatClassIndex (count +
+/// last member per compatibility class) instead of re-scanning the bucket;
+/// the uncached tier keeps the literal counting loop.
 class IterKPolicy final : public SimilarityPolicy {
  public:
   /// Throws std::invalid_argument when k < 1 (k <= 0 would "match" against
   /// a representative that was never stored, corrupting reconstruction).
   explicit IterKPolicy(int k);
   std::string name() const override { return "iter_k"; }
+  void beginRank() override;
   std::optional<SegmentId> tryMatch(const Segment& candidate, SegmentStore& store) override;
 
   int k() const { return k_; }
 
  private:
   int k_;
+  std::unordered_map<std::uint64_t, CompatClassIndex> classIndex_;
+  const SegmentStore* boundStore_ = nullptr;
+  std::uint64_t boundGeneration_ = 0;
 };
 
 /// iter_avg (Sec. 3.2.2): one representative per signature holding the

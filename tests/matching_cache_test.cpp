@@ -1,10 +1,12 @@
-// The matching fast path (shared FeatureCache + norm pre-filters) against
-// the literal uncached Sec. 3.1 loop: bit-identical results for every
-// method on every registered workload (iterated from eval::allWorkloads(),
-// so the paper's 18 programs AND every scenario), the exec-id range property that
-// catches dangling-representative bugs (iter_k with k <= 0 used to emit
-// execs against SegmentId 0 of an empty store), counter determinism across
-// the serial / parallel / online drivers, and FeatureCache behavior.
+// The matching fast paths against the literal uncached Sec. 3.1 loop:
+// bit-identical results for every acceleration tier (off / cached /
+// indexed) on every method on every registered workload (iterated from
+// eval::allWorkloads(), so the paper's 18 programs AND every scenario), the
+// exec-id range property that catches dangling-representative bugs (iter_k
+// with k <= 0 used to emit execs against SegmentId 0 of an empty store),
+// counter determinism across the serial / parallel / pooled / online /
+// streaming drivers, stale-state invalidation after SegmentStore::clear(),
+// and FeatureCache behavior.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -13,10 +15,12 @@
 #include "core/methods.hpp"
 #include "core/online_reducer.hpp"
 #include "core/reducer.hpp"
+#include "core/reduction_session.hpp"
 #include "core/segment_store.hpp"
 #include "eval/workloads.hpp"
 #include "test_helpers.hpp"
 #include "trace/segmenter.hpp"
+#include "util/executor.hpp"
 
 namespace tracered::core {
 namespace {
@@ -68,38 +72,50 @@ void expectExecIdsInRange(const ReductionResult& res) {
       ASSERT_LT(e.id, rr.stored.size()) << "rank " << rr.rank;
 }
 
-TEST(MatchingCache, FastPathBitIdenticalOnEveryWorkloadAndMethod) {
+TEST(MatchingCache, AllTiersBitIdenticalOnEveryWorkloadAndMethod) {
   for (const std::string& w : eval::allWorkloads()) {
     const Prepared& p = workload(w);
-    for (const ReductionConfig& cfg : sweepConfigs()) {
+    for (ReductionConfig cfg : sweepConfigs()) {
       SCOPED_TRACE(w + " " + cfg.toString());
-      auto slow = cfg.makePolicy();
-      slow->setAcceleration(false);
-      auto fast = cfg.makePolicy();
-      ASSERT_TRUE(fast->accelerationEnabled());
-      const ReductionResult a = reduceTrace(p.segmented, p.trace.names(), *slow);
-      const ReductionResult b = reduceTrace(p.segmented, p.trace.names(), *fast);
-      expectBitIdentical(a, b);
-      expectExecIdsInRange(b);
-      // The scan visits the same representatives in the same order either
-      // way; only the pre-filter short-circuit differs.
-      EXPECT_EQ(a.counters.comparisons, b.counters.comparisons);
-      EXPECT_EQ(a.counters.pruned, 0u);
-      EXPECT_LE(b.counters.pruned, b.counters.comparisons);
+      cfg.acceleration = AccelerationTier::kOff;
+      const ReductionResult off = reduceTrace(p.segmented, p.trace.names(), cfg);
+      cfg.acceleration = AccelerationTier::kCached;
+      const ReductionResult cached = reduceTrace(p.segmented, p.trace.names(), cfg);
+      cfg.acceleration = AccelerationTier::kIndexed;
+      const ReductionResult indexed = reduceTrace(p.segmented, p.trace.names(), cfg);
+
+      expectBitIdentical(off, cached);
+      expectBitIdentical(off, indexed);
+      expectExecIdsInRange(indexed);
+
+      // The uncached loop never pre-filters or indexes anything.
+      EXPECT_EQ(off.counters.pruned, 0u);
+      EXPECT_EQ(off.counters.indexPruned, 0u);
+      EXPECT_EQ(off.counters.indexVisited, 0u);
+      EXPECT_EQ(off.counters.pivotDistEvals, 0u);
+      // The cached tier visits the same representatives in the same order;
+      // only the pre-filter short-circuit differs.
+      EXPECT_EQ(cached.counters.comparisons, off.counters.comparisons);
+      EXPECT_LE(cached.counters.pruned, cached.counters.comparisons);
+      EXPECT_EQ(cached.counters.indexPruned, 0u);
+      // The indexed tier examines at most what the full scan examined, and
+      // every examined entry is either bound-rejected or exactly compared.
+      EXPECT_LE(indexed.counters.comparisons, off.counters.comparisons);
+      EXPECT_LE(indexed.counters.indexVisited, indexed.counters.comparisons);
     }
   }
 }
 
-TEST(MatchingCache, FastPathMatchesParallelAndOnlineDrivers) {
+TEST(MatchingCache, IndexedPathMatchesEveryDriver) {
+  // Serial is the reference; the parallel, pooled, online and streaming
+  // drivers must reproduce both the result and the counters bit-exactly.
   for (const std::string& w : {std::string("late_sender"), std::string("sweep3d_8p"),
                                std::string("scenario:sparse_ranks")}) {
     const Prepared& p = workload(w);
     for (Method m : allMethods()) {
       SCOPED_TRACE(w + " " + methodName(m));
       const ReductionConfig cfg = ReductionConfig::defaults(m);
-      auto serialPolicy = cfg.makePolicy();
-      const ReductionResult serial =
-          reduceTrace(p.segmented, p.trace.names(), *serialPolicy);
+      const ReductionResult serial = reduceTrace(p.segmented, p.trace.names(), cfg);
 
       ReductionConfig par = cfg;
       par.numThreads = 4;
@@ -107,12 +123,25 @@ TEST(MatchingCache, FastPathMatchesParallelAndOnlineDrivers) {
       expectBitIdentical(serial, parallel);
       EXPECT_EQ(serial.counters, parallel.counters);
 
+      util::PooledExecutor pool(3);
+      const ReductionResult pooled =
+          reduceTrace(p.segmented, p.trace.names(), cfg.withExecutor(pool));
+      expectBitIdentical(serial, pooled);
+      EXPECT_EQ(serial.counters, pooled.counters);
+
       OnlineReducer red(p.trace.names(), cfg);
       for (Rank r = 0; r < p.trace.numRanks(); ++r)
         for (const RawRecord& rec : p.trace.rank(r).records) red.feed(r, rec);
       const ReductionResult online = red.finish();
       expectBitIdentical(serial, online);
       EXPECT_EQ(serial.counters, online.counters);
+
+      ReductionSession session(p.trace.names(), cfg);
+      for (Rank r = 0; r < p.trace.numRanks(); ++r)
+        for (const RawRecord& rec : p.trace.rank(r).records) session.feed(r, rec);
+      const ReductionResult streamed = session.finish();
+      expectBitIdentical(serial, streamed);
+      EXPECT_EQ(serial.counters, streamed.counters);
     }
   }
 }
@@ -126,6 +155,7 @@ TEST(MatchingCache, PreFilterPrunesProvablyDissimilarPairs) {
   const Segment longSeg = makeSegment(names, "m", 0, 1000000,
                                       {{"f", OpKind::kCompute, 1, 999999, {}}});
   MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.01);
+  policy.setAccelerationTier(AccelerationTier::kCached);
   policy.beginRank();
   SegmentStore store;
   const SegmentId id = store.add(shortSeg);
@@ -135,21 +165,83 @@ TEST(MatchingCache, PreFilterPrunesProvablyDissimilarPairs) {
   EXPECT_EQ(policy.matchCounters().pruned, 1u);
 }
 
+TEST(MatchingCache, IndexExcludesDissimilarEntriesBeforeAnyExactComparison) {
+  // The same pair under the indexed tier: the stored norm falls outside the
+  // candidate's admissible window, so the entry is never even visited.
+  StringTable names;
+  const Segment shortSeg = makeSegment(names, "m", 0, 100,
+                                       {{"f", OpKind::kCompute, 1, 99, {}}});
+  const Segment longSeg = makeSegment(names, "m", 0, 1000000,
+                                      {{"f", OpKind::kCompute, 1, 999999, {}}});
+  MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.01);
+  policy.beginRank();
+  SegmentStore store;
+  const SegmentId id = store.add(shortSeg);
+  policy.onStored(store.segment(id), id);
+  EXPECT_FALSE(policy.tryMatch(longSeg, store).has_value());
+  EXPECT_EQ(policy.matchCounters().indexPruned, 1u);
+  EXPECT_EQ(policy.matchCounters().indexVisited, 0u);
+  EXPECT_EQ(policy.matchCounters().comparisons, 0u);  // never entered the window
+}
+
 TEST(MatchingCache, LazyFeatureFillServesStoresPopulatedBehindThePolicy) {
   // Representatives added without the onStored hook (manual SegmentStore
-  // use) still match: the cache fills lazily during the scan.
+  // use) still match: the cache and index fill lazily during the scan.
   StringTable names;
   const Segment a = makeSegment(names, "m", 0, 100,
                                 {{"f", OpKind::kCompute, 1, 99, {}}});
   Segment b = a;
   b.end += 1;
-  MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.5);
-  policy.beginRank();
+  for (AccelerationTier tier : {AccelerationTier::kCached, AccelerationTier::kIndexed}) {
+    MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.5);
+    policy.setAccelerationTier(tier);
+    policy.beginRank();
+    SegmentStore store;
+    store.add(a);  // no onStored
+    const auto match = policy.tryMatch(b, store);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(*match, 0u);
+  }
+}
+
+TEST(MatchingCache, StoreClearInvalidatesCachedFeaturesAndIndexes) {
+  // Regression: a store cleared and repopulated reuses SegmentIds. The
+  // policy's derived state (FeatureCache, per-bucket indexes) must notice
+  // the new generation instead of serving the old id-0 features — which
+  // would "match" the old segment against a completely different new one.
+  StringTable names;
+  const Segment original = makeSegment(names, "m", 0, 100,
+                                       {{"f", OpKind::kCompute, 1, 99, {}}});
+  const Segment replacement = makeSegment(names, "m", 0, 1000000,
+                                          {{"f", OpKind::kCompute, 1, 999999, {}}});
+  for (AccelerationTier tier : {AccelerationTier::kCached, AccelerationTier::kIndexed}) {
+    MinkowskiPolicy policy(MinkowskiPolicy::Order::kEuclidean, 0.1);
+    policy.setAccelerationTier(tier);
+    policy.beginRank();
+    SegmentStore store;
+    SegmentId id = store.add(original);
+    policy.onStored(store.segment(id), id);
+    EXPECT_TRUE(policy.tryMatch(original, store).has_value());
+
+    store.clear();
+    id = store.add(replacement);  // reuses id 0
+    policy.onStored(store.segment(id), id);
+    // Stale features for the old id 0 would accept this match.
+    EXPECT_FALSE(policy.tryMatch(original, store).has_value())
+        << "tier " << static_cast<int>(tier);
+    EXPECT_TRUE(policy.tryMatch(replacement, store).has_value());
+  }
+
+  // iter_k keeps its own class index keyed by id; the same invalidation
+  // applies (a stale class count would claim k executions already exist).
+  IterKPolicy iterK(1);
+  iterK.beginRank();
   SegmentStore store;
-  store.add(a);  // no onStored
-  const auto match = policy.tryMatch(b, store);
-  ASSERT_TRUE(match.has_value());
-  EXPECT_EQ(*match, 0u);
+  SegmentId id = store.add(original);
+  iterK.onStored(store.segment(id), id);
+  EXPECT_TRUE(iterK.tryMatch(original, store).has_value());
+  store.clear();
+  EXPECT_FALSE(iterK.tryMatch(original, store).has_value());
 }
 
 TEST(MatchingCache, AccelerationOffNeverPopulatesTheCacheButStillMatches) {
@@ -160,11 +252,14 @@ TEST(MatchingCache, AccelerationOffNeverPopulatesTheCacheButStillMatches) {
                    Method::kAvgWave, Method::kHaarWave}) {
     auto policy = makePolicy(m, 1e9);
     policy->setAcceleration(false);
+    EXPECT_EQ(policy->accelerationTier(), AccelerationTier::kOff);
     policy->beginRank();
     SegmentStore store;
     const SegmentId id = store.add(a);
     policy->onStored(store.segment(id), id);
     EXPECT_TRUE(policy->tryMatch(a, store).has_value()) << methodName(m);
+    EXPECT_EQ(policy->matchCounters().indexVisited, 0u);
+    EXPECT_EQ(policy->matchCounters().indexPruned, 0u);
   }
 }
 

@@ -97,12 +97,19 @@ int runReduce(const CliArgs& args) {
   if (stats) {
     // The matching-cost rows: wall clock of the reduce phase (read + match;
     // everything this command does before sizing the result), plus the
-    // hot-loop instrumentation — representatives scanned and how many were
-    // rejected by a norm pre-filter before any full vector walk.
+    // hot-loop instrumentation — representatives examined, how many a norm
+    // pre-filter rejected before any full vector walk, and what the
+    // per-bucket match index did (entries excluded by a window or pivot
+    // bound vs entries that survived to an exact comparison, and the
+    // distance evaluations the index spent on pivot maintenance).
     t.row({"reduce wall ms", fmtF(reduceMs, 1)});
     t.row({"reps scanned", std::to_string(result.counters.comparisons)});
     t.row({"pruned by pre-filter", std::to_string(result.counters.pruned)});
     t.row({"prune rate", fmtPct(100.0 * result.counters.pruneRate())});
+    t.row({"reps visited (exact)", std::to_string(result.counters.indexVisited)});
+    t.row({"index pruned", std::to_string(result.counters.indexPruned)});
+    t.row({"index prune rate", fmtPct(100.0 * result.counters.indexPruneRate())});
+    t.row({"pivot distance evals", std::to_string(result.counters.pivotDistEvals)});
   }
   std::printf("%s", t.str().c_str());
 
@@ -128,7 +135,9 @@ CliCommand makeReduceCommand() {
       {"streaming", "", "feed the file through the chunked reader record by record"},
       {"threads", "<n>", "reduction worker threads; 0 = hardware concurrency (default 1)"},
       {"progress", "", "report per-rank progress on stderr"},
-      {"stats", "", "append matching-cost rows (wall ms, reps scanned, prune rate)"},
+      {"stats", "",
+       "append matching-cost rows (wall ms, reps scanned/visited, pre-filter "
+       "and index prune rates)"},
   };
   c.run = runReduce;
   return c;
