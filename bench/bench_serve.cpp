@@ -1,0 +1,171 @@
+// Serve-daemon soak study for the perf trajectory: spins a real `tracered
+// serve` instance on a unix socket, streams traces at it from concurrent
+// clients (each a full HELLO -> DATA* -> END -> STATS/RESULT round trip via
+// the same reduceRemote() the CLI uses), verifies every reply byte-identical
+// to the offline reduction, and appends one JSON line per (clients x
+// payload) cell — throughput MB/s, p50/p99 round-trip ms, and the server's
+// peak per-connection buffered bytes — to stdout AND an output file (append
+// mode, so CI can accumulate the rows into the BENCH_matching.json
+// trajectory artifact next to the matching and scenario studies').
+//
+//   bench_serve [--scale f] [--seed n] [--threads n] [--config m[@t]]
+//               [--trips n] [--out file]
+//
+// The `bench_serve_smoke` ctest runs `--scale 0.1 --out BENCH_serve.json`
+// (2 client levels x 1 payload); at --scale >= 0.5 the study widens to the
+// full clients x payload grid.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/reduction_session.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracered::bench {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[i];
+}
+
+struct Payload {
+  std::string workload;
+  std::vector<std::uint8_t> bytes;     // serialized full trace (the wire payload)
+  std::vector<std::uint8_t> expected;  // offline-reduced TRR bytes
+};
+
+int run(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv, {"config", "out", "trips"});
+  core::ReductionConfig config =
+      core::ReductionConfig::defaults(core::Method::kAvgWave);
+  if (opts.args().has("config")) {
+    try {
+      config = core::ReductionConfig::fromName(opts.args().get("config"));
+    } catch (const std::invalid_argument& e) {
+      usageExit(opts.args(), e.what());
+    }
+  }
+  const std::string outPath = opts.args().get("out", "BENCH_serve.json");
+  const int trips = static_cast<int>(opts.args().getInt("trips", 3));
+  const bool full = opts.workload.scale >= 0.5;
+
+  const std::vector<std::size_t> clientLevels =
+      full ? std::vector<std::size_t>{1, 4, 8, 16} : std::vector<std::size_t>{1, 4};
+  const std::vector<std::string> payloadWorkloads =
+      full ? std::vector<std::string>{"late_sender", "sweep3d_8p"}
+           : std::vector<std::string>{"late_sender"};
+
+  // Generate each payload once and pre-compute its offline reduction — the
+  // correctness oracle every concurrent reply is compared against.
+  std::vector<Payload> payloads;
+  for (const std::string& name : payloadWorkloads) {
+    Payload p;
+    p.workload = name;
+    const Trace trace = eval::runWorkload(name, opts.workload);
+    p.bytes = serializeFullTrace(trace);
+    core::ReductionSession session(trace.names(), config.withExecutor(opts.executor()));
+    p.expected = serializeReducedTrace(session.reduce(segmentTrace(trace)).reduced);
+    payloads.push_back(std::move(p));
+  }
+
+  FILE* out = std::fopen(outPath.c_str(), "a");
+  if (out == nullptr)
+    std::fprintf(stderr, "bench_serve: cannot write %s; printing to stdout only\n",
+                 outPath.c_str());
+  auto emit = [&](const char* line) {
+    std::fputs(line, stdout);
+    if (out != nullptr) std::fputs(line, out);
+  };
+
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "{\"bench\":\"serve\",\"config\":\"%s\",\"scale\":%g,\"seed\":%llu,"
+                "\"trips\":%d}\n",
+                config.toString().c_str(), opts.workload.scale,
+                static_cast<unsigned long long>(opts.workload.seed), trips);
+  emit(line);
+
+  int failures = 0;
+  for (const Payload& payload : payloads) {
+    for (const std::size_t clients : clientLevels) {
+      // Fresh server per cell so peakConnBufferedBytes is the cell's own.
+      serve::ServerOptions serverOptions;
+      serverOptions.listenAddrs = {"unix:/tmp/tracered_bench_serve_" +
+                                   std::to_string(::getpid()) + ".sock"};
+      serverOptions.threads = opts.threads;
+      serve::Server server(serverOptions);
+      const std::string addr = server.boundAddresses().at(0);
+      std::thread serverThread([&server] { server.run(); });
+
+      std::mutex mu;
+      std::vector<double> latenciesMs;
+      int mismatches = 0;
+      const auto cellStart = std::chrono::steady_clock::now();
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (std::size_t cl = 0; cl < clients; ++cl)
+        threads.emplace_back([&] {
+          for (int trip = 0; trip < trips; ++trip) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::RemoteReduceResult rr =
+                serve::reduceRemote(addr, config.toString(), payload.bytes.data(),
+                                    payload.bytes.size(), /*retryMs=*/2000);
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+            std::lock_guard<std::mutex> lock(mu);
+            latenciesMs.push_back(ms);
+            if (rr.trrBytes != payload.expected) ++mismatches;
+          }
+        });
+      for (std::thread& t : threads) t.join();
+      const double wallS = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - cellStart)
+                               .count();
+      server.stop();
+      serverThread.join();
+      const serve::Server::Metrics m = server.metrics();
+
+      std::sort(latenciesMs.begin(), latenciesMs.end());
+      const double streamedMb = static_cast<double>(payload.bytes.size()) *
+                                static_cast<double>(clients) * trips / 1.0e6;
+      if (mismatches > 0 || m.protocolErrors != 0) ++failures;
+      std::snprintf(
+          line, sizeof line,
+          "{\"bench\":\"serve\",\"workload\":\"%s\",\"payload_bytes\":%zu,"
+          "\"clients\":%zu,\"trips\":%d,\"mb_per_s\":%.2f,\"p50_ms\":%.2f,"
+          "\"p99_ms\":%.2f,\"peak_conn_buffered_bytes\":%zu,"
+          "\"traces_served\":%llu,\"mismatches\":%d,\"protocol_errors\":%llu}\n",
+          payload.workload.c_str(), payload.bytes.size(), clients, trips,
+          wallS > 0 ? streamedMb / wallS : 0.0, percentile(latenciesMs, 0.50),
+          percentile(latenciesMs, 0.99), m.peakConnBufferedBytes,
+          static_cast<unsigned long long>(m.tracesServed), mismatches,
+          static_cast<unsigned long long>(m.protocolErrors));
+      emit(line);
+    }
+  }
+  if (out != nullptr) std::fclose(out);
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_serve: %d cell(s) had mismatched or failed replies\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tracered::bench
+
+int main(int argc, char** argv) { return tracered::bench::run(argc, argv); }

@@ -1,0 +1,190 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace tracered::serve {
+
+namespace {
+
+/// Frame-at-a-time receive buffer over a non-blocking fd.
+class FrameReceiver {
+ public:
+  /// Reads whatever the socket has and returns the next complete frame, or
+  /// std::nullopt when more bytes are needed (or the read would block).
+  /// Throws on EOF/reset — by protocol the server always finishes with END
+  /// (after RESULT) or ERROR before closing, so a bare close is an error.
+  std::optional<Frame> next(int fd) {
+    for (;;) {
+      std::size_t consumed = 0;
+      std::optional<Frame> f =
+          tryExtractFrame(buf_.data() + consumed_, buf_.size() - consumed_, consumed);
+      if (f) {
+        consumed_ += consumed;
+        if (consumed_ == buf_.size()) {
+          buf_.clear();
+          consumed_ = 0;
+        }
+        return f;
+      }
+      std::uint8_t chunk[16 * 1024];
+      const util::IoResult r = util::readSome(fd, chunk, sizeof chunk);
+      if (r.status == util::IoStatus::kOk) {
+        buf_.insert(buf_.end(), chunk, chunk + r.n);
+        continue;
+      }
+      if (r.status == util::IoStatus::kWouldBlock) return std::nullopt;
+      throw std::runtime_error(
+          "serve client: connection closed before a complete reply");
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;
+};
+
+[[noreturn]] void throwServerError(const Frame& f) {
+  throw std::runtime_error("serve client: server error: " + decodeError(f.payload));
+}
+
+void pollFor(int fd, short events) {
+  pollfd p{fd, events, 0};
+  const int rc = ::poll(&p, 1, -1);
+  if (rc < 0 && errno != EINTR)
+    throw std::runtime_error("serve client: poll failed");
+}
+
+}  // namespace
+
+RemoteReduceResult reduceRemote(const std::string& addr, const std::string& configSpec,
+                                const std::uint8_t* data, std::size_t size,
+                                int retryMs) {
+  util::ignoreSigpipe();
+  util::Fd fd = util::connectSocket(addr, retryMs);
+  util::setNonBlocking(fd.get());
+  FrameReceiver rx;
+
+  // Un-sent wire bytes; refilled with DATA frames as the ACK window opens.
+  std::vector<std::uint8_t> out;
+  std::size_t outSent = 0;
+  HelloPayload hello;
+  hello.config = configSpec;
+  appendFrame(out, FrameType::kHello, encodeHello(hello));
+
+  bool welcomed = false;
+  std::uint64_t window = 0;    // server's advertised window (after WELCOME)
+  std::uint64_t queued = 0;    // DATA payload bytes framed so far
+  std::uint64_t acked = 0;     // cumulative consumed bytes the server ACKed
+  std::size_t dataOff = 0;     // next un-framed byte of `data`
+  bool endSent = false;
+
+  RemoteReduceResult result;
+  bool statsSeen = false;
+
+  for (;;) {
+    // Frame more DATA whenever the window has room. Before WELCOME nothing
+    // but HELLO may be in flight.
+    while (welcomed && !endSent && out.size() - outSent < kMaxFramePayload) {
+      const std::uint64_t inflight = queued - acked;
+      if (dataOff == size) {
+        appendFrame(out, FrameType::kEnd, nullptr, 0);
+        endSent = true;
+        break;
+      }
+      if (inflight >= window) break;
+      const std::size_t chunk =
+          std::min({static_cast<std::uint64_t>(kMaxFramePayload), window - inflight,
+                    static_cast<std::uint64_t>(size - dataOff)});
+      appendFrame(out, FrameType::kData, data + dataOff, chunk);
+      dataOff += chunk;
+      queued += chunk;
+    }
+
+    if (out.size() > outSent) {
+      const util::IoResult w =
+          util::writeSome(fd.get(), out.data() + outSent, out.size() - outSent);
+      if (w.status == util::IoStatus::kOk) {
+        outSent += w.n;
+        if (outSent == out.size()) {
+          out.clear();
+          outSent = 0;
+        }
+      } else if (w.status != util::IoStatus::kWouldBlock) {
+        // Peer closed our send side: the server has (or is about to) put an
+        // ERROR frame on the wire — drain the receive side for the real
+        // message before giving up.
+        for (;;) {
+          std::optional<Frame> f = rx.next(fd.get());
+          if (!f) {
+            pollFor(fd.get(), POLLIN);
+            continue;
+          }
+          if (f->type == FrameType::kError) throwServerError(*f);
+        }
+      }
+    }
+
+    // Drain every frame the server has for us.
+    for (;;) {
+      std::optional<Frame> f = rx.next(fd.get());
+      if (!f) break;
+      switch (f->type) {
+        case FrameType::kWelcome: {
+          if (welcomed)
+            throw std::runtime_error("serve client: duplicate WELCOME");
+          const WelcomePayload w = decodeWelcome(f->payload);
+          if (w.version != kProtocolVersion)
+            throw std::runtime_error(
+                "serve client: protocol version mismatch: server speaks v" +
+                std::to_string(w.version) + ", this client speaks v" +
+                std::to_string(kProtocolVersion));
+          welcomed = true;
+          window = w.windowBytes == 0 ? 1 : w.windowBytes;
+          result.windowBytes = w.windowBytes;
+          break;
+        }
+        case FrameType::kAck:
+          acked = std::max(acked, decodeAck(f->payload));
+          break;
+        case FrameType::kStats:
+          result.statsRows = decodeStats(f->payload);
+          statsSeen = true;
+          break;
+        case FrameType::kResult:
+          result.trrBytes.insert(result.trrBytes.end(), f->payload.begin(),
+                                 f->payload.end());
+          break;
+        case FrameType::kEnd:
+          if (!statsSeen)
+            throw std::runtime_error("serve client: reply END without STATS");
+          return result;
+        case FrameType::kError:
+          throwServerError(*f);
+        default:
+          throw std::runtime_error(std::string("serve client: unexpected ") +
+                                   frameTypeName(f->type) + " frame from server");
+      }
+    }
+
+    // More frames can be cut right now (window open, or END still owed)?
+    // Loop straight back — blocking here would deadlock: the server is
+    // waiting for exactly those bytes.
+    if (out.size() == outSent && welcomed && !endSent &&
+        (dataOff == size || queued - acked < window))
+      continue;
+
+    // Block until progress is possible: always readable; writable only while
+    // bytes are pending (poll would spin on an always-writable socket).
+    pollFor(fd.get(), out.size() > outSent ? static_cast<short>(POLLIN | POLLOUT)
+                                           : static_cast<short>(POLLIN));
+  }
+}
+
+}  // namespace tracered::serve

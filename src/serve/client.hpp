@@ -1,0 +1,41 @@
+// Client side of the serve wire protocol: the engine behind
+// `tracered reduce --remote <addr>`.
+//
+// reduceRemote() plays the producer role end to end — HELLO, wait for
+// WELCOME (protocol version is checked both ways), stream the trace bytes in
+// DATA frames while honoring the server's advertised window (at most
+// `windowBytes` of payload un-ACKed in flight, the derecho-style sequence
+// window of docs/SERVE.md §4), END, then collect the reply: STATS rows,
+// RESULT chunks, and the server's closing END. A server-side ERROR frame at
+// any point becomes a std::runtime_error carrying the server's message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tracered::serve {
+
+struct RemoteReduceResult {
+  /// The reduced trace exactly as the daemon serialized it (TRR1 bytes) —
+  /// written verbatim to --out, which is what makes `cmp` against the batch
+  /// path meaningful.
+  std::vector<std::uint8_t> trrBytes;
+  /// The server's STATS report rows, in server order.
+  std::vector<std::pair<std::string, std::string>> statsRows;
+  /// The window the server advertised in WELCOME (surfaced for tests).
+  std::uint64_t windowBytes = 0;
+};
+
+/// Streams `data` (the raw bytes of a TRF1/text trace file) to the daemon at
+/// `addr` for reduction under `configSpec` (a ReductionConfig spelling, e.g.
+/// "avgWave@0.2"). `retryMs` is forwarded to connectSocket() so callers can
+/// ride out a daemon that is still binding. Throws std::runtime_error on
+/// connection failure, protocol violations, or a server-reported error.
+RemoteReduceResult reduceRemote(const std::string& addr, const std::string& configSpec,
+                                const std::uint8_t* data, std::size_t size,
+                                int retryMs = 0);
+
+}  // namespace tracered::serve

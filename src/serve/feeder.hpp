@@ -1,0 +1,109 @@
+// TraceStreamFeeder: an incremental push-parser over the trace file formats.
+//
+// The chunked TraceFileReader pulls bytes from a seekable file; a serve
+// connection instead RECEIVES bytes in arbitrary-sized network chunks and
+// must make progress with whatever has arrived. The feeder closes that gap:
+// push() consumes a chunk, decodes every complete header/record it now has
+// (TRF1 or text, auto-detected from the leading bytes exactly like
+// detectTraceFile), feeds decoded records straight into an owned
+// ReductionSession, and retains only the incomplete tail — so per-connection
+// parse memory is bounded by one record/primitive, never by the trace. The
+// decode itself reuses the trace_codec templates and TextTraceParser, which
+// is what makes a daemon round trip byte-identical to `tracered reduce
+// --streaming` of the same bytes: both are the same codec feeding the same
+// session (tested byte-for-byte in serve_test).
+//
+// Incomplete vs malformed: a decode that runs off the end of the buffered
+// bytes is "incomplete" (kept for the next push); anything else — bad magic,
+// bad record kind, non-monotonic timestamps, a primitive larger than
+// `maxPendingBytes` — throws std::runtime_error, which a connection turns
+// into an ERROR frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/reduction_session.hpp"
+#include "trace/text_io.hpp"
+#include "trace/trace.hpp"
+#include "util/time_types.hpp"
+
+namespace tracered::serve {
+
+class TraceStreamFeeder {
+ public:
+  /// `maxPendingBytes` bounds the undecoded tail the feeder will hold while
+  /// waiting for the rest of a record/primitive (a legal stream never needs
+  /// more than one name string; a stream that does is rejected as malformed).
+  explicit TraceStreamFeeder(const core::ReductionConfig& config,
+                             std::size_t maxPendingBytes = 256 * 1024);
+
+  /// Consumes one chunk of the trace byte stream. Decodes and feeds every
+  /// complete record; throws std::runtime_error on malformed input.
+  void push(const std::uint8_t* data, std::size_t n);
+
+  /// Ends the stream: validates completeness (binary: all declared rank
+  /// sections seen, no trailing bytes; text: header invariants, idle ranks
+  /// announced) and returns the session's result — bit-identical to offline
+  /// reduction of the same trace. Call once.
+  core::ReductionResult finishStream();
+
+  /// Undecoded bytes currently buffered (the incomplete tail).
+  std::size_t pendingBytes() const { return pending_.size() - consumed_; }
+
+  /// Records decoded and fed so far.
+  std::size_t recordsFed() const { return session_ ? session_->recordsFed() : 0; }
+
+  /// High-water mark of the pending buffer (for the backpressure metrics).
+  std::size_t maxPendingBytes() const { return pendingHighWater_; }
+
+ private:
+  enum class State {
+    kDetect,         ///< sniffing binary magic vs text directives
+    kBinHeader,      ///< magic + version
+    kBinStringCount, ///< string table entry count
+    kBinStrings,     ///< string table entries
+    kBinNumRanks,    ///< declared rank count (session created after)
+    kBinRankHeader,  ///< next rank id + record count
+    kBinRecords,     ///< records of the current rank section
+    kBinDone,        ///< all declared sections decoded; no byte may follow
+    kText,           ///< line-oriented text trace
+  };
+
+  void parseAvailable();
+  bool stepBinary();   ///< one decode step; false = need more bytes
+  void parseTextLines(bool atEof);
+  void feedTextLine(const std::string& line);
+  void detect(bool atEof);
+  void compact();
+
+  core::ReductionConfig config_;
+  std::size_t maxPending_;
+  State state_ = State::kDetect;
+
+  std::vector<std::uint8_t> pending_;
+  std::size_t consumed_ = 0;  ///< decoded prefix of pending_ (compacted lazily)
+  std::size_t pendingHighWater_ = 0;
+
+  // Binary decode state (mirrors TraceFileReader::streamBinary).
+  StringTable namesOwn_;
+  std::uint64_t stringsLeft_ = 0;
+  std::size_t numRanks_ = 0;
+  std::size_t ranksSeen_ = 0;
+  std::int64_t prevRank_ = -1;
+  Rank curRank_ = -1;
+  std::uint64_t recsLeft_ = 0;
+  TimeUs prevTime_ = 0;
+
+  // Text decode state (mirrors TraceFileReader::streamText).
+  TextTraceParser text_;
+  std::vector<bool> announced_;
+
+  std::optional<core::ReductionSession> session_;  ///< after header/detect
+  bool finished_ = false;
+};
+
+}  // namespace tracered::serve

@@ -1,0 +1,160 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "util/bytebuf.hpp"
+
+namespace tracered::serve {
+
+const char* frameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kEnd:
+      return "END";
+    case FrameType::kWelcome:
+      return "WELCOME";
+    case FrameType::kAck:
+      return "ACK";
+    case FrameType::kStats:
+      return "STATS";
+    case FrameType::kResult:
+      return "RESULT";
+    case FrameType::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::uint8_t* payload, std::size_t payloadLen) {
+  if (payloadLen > kMaxFramePayload)
+    throw std::invalid_argument("serve: frame payload exceeds kMaxFramePayload");
+  const std::uint32_t bodyLen = static_cast<std::uint32_t>(payloadLen) + 1;
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(bodyLen >> (8 * i)));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload, payload + payloadLen);
+}
+
+void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::vector<std::uint8_t>& payload) {
+  appendFrame(out, type, payload.data(), payload.size());
+}
+
+std::optional<Frame> tryExtractFrame(const std::uint8_t* buf, std::size_t len,
+                                     std::size_t& consumed) {
+  consumed = 0;
+  if (len < kFrameHeaderBytes) return std::nullopt;
+  std::uint32_t bodyLen = 0;
+  for (int i = 0; i < 4; ++i) bodyLen |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  if (bodyLen == 0) throw std::runtime_error("serve: frame with zero body length");
+  if (bodyLen - 1 > kMaxFramePayload)
+    throw std::runtime_error("serve: frame payload of " + std::to_string(bodyLen - 1) +
+                             " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                             "-byte maximum");
+  if (len < kFrameHeaderBytes - 1 + bodyLen) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(buf[4]);
+  f.payload.assign(buf + kFrameHeaderBytes, buf + kFrameHeaderBytes + (bodyLen - 1));
+  consumed = kFrameHeaderBytes - 1 + bodyLen;
+  return f;
+}
+
+std::vector<std::uint8_t> encodeHello(const HelloPayload& h) {
+  ByteWriter w;
+  w.u32(kHelloMagic);
+  w.u32(h.version);  // u32 on the wire; values stay tiny
+  w.str(h.config);
+  return w.bytes();
+}
+
+HelloPayload decodeHello(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  if (r.u32() != kHelloMagic)
+    throw std::runtime_error("serve: HELLO missing the TRSV magic");
+  HelloPayload h;
+  h.version = static_cast<std::uint16_t>(r.u32());
+  h.config = r.str();
+  if (!r.atEnd()) throw std::runtime_error("serve: trailing bytes in HELLO");
+  return h;
+}
+
+std::vector<std::uint8_t> encodeWelcome(const WelcomePayload& w) {
+  ByteWriter out;
+  out.u32(w.version);
+  out.u64(w.windowBytes);
+  return out.bytes();
+}
+
+WelcomePayload decodeWelcome(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  WelcomePayload w;
+  w.version = static_cast<std::uint16_t>(r.u32());
+  w.windowBytes = r.u64();
+  if (!r.atEnd()) throw std::runtime_error("serve: trailing bytes in WELCOME");
+  return w;
+}
+
+std::vector<std::uint8_t> encodeAck(std::uint64_t consumed) {
+  ByteWriter w;
+  w.u64(consumed);
+  return w.bytes();
+}
+
+std::uint64_t decodeAck(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const std::uint64_t v = r.u64();
+  if (!r.atEnd()) throw std::runtime_error("serve: trailing bytes in ACK");
+  return v;
+}
+
+std::vector<std::uint8_t> encodeError(const std::string& message) {
+  ByteWriter w;
+  w.str(message);
+  return w.bytes();
+}
+
+std::string decodeError(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  const std::string s = r.str();
+  if (!r.atEnd()) throw std::runtime_error("serve: trailing bytes in ERROR");
+  return s;
+}
+
+std::vector<std::uint8_t> encodeStats(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::vector<std::uint8_t> out;
+  for (const auto& [key, value] : rows) {
+    out.insert(out.end(), key.begin(), key.end());
+    out.push_back('\t');
+    out.insert(out.end(), value.begin(), value.end());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> decodeStats(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::string line;
+  auto flush = [&]() {
+    if (line.empty()) return;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos)
+      throw std::runtime_error("serve: STATS line without a tab: '" + line + "'");
+    rows.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+    line.clear();
+  };
+  for (const std::uint8_t b : payload) {
+    if (b == '\n')
+      flush();
+    else
+      line.push_back(static_cast<char>(b));
+  }
+  flush();
+  return rows;
+}
+
+}  // namespace tracered::serve

@@ -1,0 +1,140 @@
+// The `tracered serve` daemon: a concurrent trace-ingest server over
+// ReductionSession.
+//
+// One poll-loop thread owns all sockets and connection state; one reducer
+// thread runs ReductionSession::finish() for completed streams, sharing a
+// single PooledExecutor across every connection (finishes are serialized,
+// each using the pool's full width — PooledExecutor::shard must be entered
+// from one thread at a time). The deterministic core is untouched: a
+// connection is HELLO -> WELCOME -> DATA* -> END on the wire and exactly
+// `feeder.push()* ; finishStream()` inside, so every reduced trace a daemon
+// returns is byte-identical to `tracered reduce` of the same bytes.
+//
+// Per-connection memory is bounded by construction (the backpressure story,
+// docs/SERVE.md §4, after derecho's P2PConnections ring-buffers + sequence
+// numbers): the input buffer is a fixed `windowBytes`-capacity ring the
+// socket is only read into when space is free, ACK frames carry the
+// cumulative consumed-byte sequence number that well-behaved clients window
+// on, and once more than `windowBytes` of un-sent output (acks a stalled
+// reader refuses to drain) accumulates, the connection's socket is simply
+// not read until the peer drains — so neither a blasting producer nor a
+// stalled consumer can grow server memory beyond the configured window
+// (tested, via Metrics::peakConnBufferedBytes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/reduction_config.hpp"
+#include "serve/feeder.hpp"
+#include "serve/protocol.hpp"
+#include "util/executor.hpp"
+#include "util/socket.hpp"
+
+namespace tracered::serve {
+
+struct ServerOptions {
+  /// Listen addresses ("unix:<path>" / "tcp:<host>:<port>"); at least one.
+  std::vector<std::string> listenAddrs;
+  /// Per-connection receive window: input ring capacity, feeder parse-window
+  /// cap, and the stalled-reader output pause threshold.
+  std::size_t windowBytes = kDefaultWindowBytes;
+  /// Shared PooledExecutor width (<= 0 selects hardware concurrency).
+  int threads = 0;
+  /// Accepted connections above this wait in the listen backlog.
+  std::size_t maxConnections = 256;
+  /// Stop after serving this many traces; 0 = run until stop(). The hook
+  /// scripted one-shot runs (cookbook, CLI tests) use for clean teardown.
+  std::uint64_t maxTraces = 0;
+  /// ACK after this many consumed payload bytes; 0 = windowBytes/4 + 1.
+  /// Tests shrink it to make ack traffic dense enough to exercise the
+  /// stalled-reader pause at small scale.
+  std::uint64_t ackEveryBytes = 0;
+  /// SO_SNDBUF for accepted connections; 0 = OS default. Shrinking it makes
+  /// the kernel stop absorbing un-drained acks early, again for backpressure
+  /// tests that must trigger the pause without streaming megabytes.
+  int sendBufferBytes = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens on every address (throws on failure); run() starts
+  /// serving. Installs no signal handlers — the CLI front end does that.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// The bound addresses in connectSocket() syntax, with tcp port 0
+  /// resolved to the kernel-assigned port.
+  std::vector<std::string> boundAddresses() const;
+
+  /// Serves until stop() (or maxTraces). Call once, from any one thread.
+  void run();
+
+  /// Requests run() to return. Async-signal-safe (atomic store + pipe
+  /// write), so SIGINT/SIGTERM handlers may call it directly.
+  void stop();
+
+  struct Metrics {
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t tracesServed = 0;      ///< RESULT delivered and drained
+    std::uint64_t protocolErrors = 0;    ///< ERROR frames sent
+    std::uint64_t abruptDisconnects = 0; ///< peer vanished mid-conversation
+    /// Max over time and connections of (input ring + undecoded parse tail +
+    /// un-sent output) — the number the backpressure tests bound.
+    std::size_t peakConnBufferedBytes = 0;
+  };
+  Metrics metrics() const;
+
+ private:
+  struct Connection;
+  struct Job;        ///< completed stream handed to the reducer thread
+  struct Completed;  ///< reducer's reply frames handed back to the poll loop
+
+  void pollLoop();
+  void acceptPending(int listenFd);
+  void readable(Connection& c);
+  void writable(Connection& c);
+  void handleFrame(Connection& c, const Frame& f);
+  void sendError(Connection& c, const std::string& message);
+  void queueOutput(Connection& c, std::vector<std::uint8_t> bytes);
+  void reducerLoop();
+  void drainCompleted();
+  void noteBuffered(const Connection& c);
+
+  /// Input ring capacity: one window-sized payload plus its frame header, so
+  /// the largest frame a well-behaved client may send always completes.
+  std::size_t inRingCapacity() const {
+    return options_.windowBytes + kFrameHeaderBytes;
+  }
+
+  ServerOptions options_;
+  std::vector<util::Fd> listeners_;
+  util::Fd wakeRead_, wakeWrite_;
+  util::PooledExecutor pool_;
+
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t nextConnId_ = 1;
+  std::uint64_t tracesDrained_ = 0;
+
+  std::atomic<bool> stop_{false};
+
+  std::mutex reducerMutex_;
+  std::condition_variable reducerCv_;
+  std::deque<Job> jobs_;
+  std::deque<Completed> completed_;
+  bool reducerQuit_ = false;
+
+  mutable std::mutex metricsMutex_;
+  Metrics metrics_;
+};
+
+}  // namespace tracered::serve

@@ -163,6 +163,10 @@ CliApp::CliApp(std::string name, std::string summary)
 
 void CliApp::add(CliCommand command) { commands_.push_back(std::move(command)); }
 
+void CliApp::setVersion(std::string versionLine) {
+  versionLine_ = std::move(versionLine);
+}
+
 const CliCommand* CliApp::find(const std::string& name) const {
   for (const auto& c : commands_)
     if (c.name == name) return &c;
@@ -179,7 +183,9 @@ std::string CliApp::help() const {
     os << "  " << c.name << std::string(width - c.name.size() + 2, ' ') << c.summary
        << '\n';
   }
-  os << "\nRun '" << name_ << " <command> --help' for that command's flags.\n";
+  os << "\nRun '" << name_ << " <command> --help' for that command's flags";
+  if (!versionLine_.empty()) os << "; '" << name_ << " --version' prints the version";
+  os << ".\n";
   return os.str();
 }
 
@@ -206,7 +212,31 @@ std::string CliApp::help(const CliCommand& command) const {
   return os.str();
 }
 
+namespace {
+
+/// Exit-time stdout check: a writer whose reader vanished (SIGPIPE ignored,
+/// so EPIPE set the FILE error flag) or whose disk filled must fail with
+/// exit 1, never report success with truncated output.
+int finishStdout(int rc) {
+  const bool failed = std::fflush(stdout) != 0 || std::ferror(stdout) != 0;
+  if (failed && rc == 0) {
+    std::fprintf(stderr, "error: failed writing to stdout\n");
+    return 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
 int CliApp::main(int argc, const char* const* argv) const {
+  // --version anywhere (top level or after a subcommand) wins: every entry
+  // point reports the one version string.
+  if (!versionLine_.empty())
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--version") {
+        std::printf("%s\n", versionLine_.c_str());
+        return finishStdout(0);
+      }
   if (argc < 2) {
     std::fputs(help().c_str(), stderr);
     return 2;
@@ -214,7 +244,7 @@ int CliApp::main(int argc, const char* const* argv) const {
   const std::string first = argv[1];
   if (first == "--help" || first == "-h" || first == "help") {
     std::fputs(help().c_str(), stdout);
-    return 0;
+    return finishStdout(0);
   }
   const CliCommand* command = find(first);
   if (command == nullptr) {
@@ -242,7 +272,7 @@ int CliApp::main(int argc, const char* const* argv) const {
     if (p == "-h") wantsHelp = true;
   if (wantsHelp) {
     std::fputs(help(*command).c_str(), stdout);
-    return 0;
+    return finishStdout(0);
   }
   std::vector<std::string> known = {"help", "h"};
   for (const auto& f : command->flags) known.push_back(f.name);
@@ -270,7 +300,7 @@ int CliApp::main(int argc, const char* const* argv) const {
   }
 
   try {
-    return command->run(args);
+    return finishStdout(command->run(args));
   } catch (const UsageError& e) {
     std::fprintf(stderr, "%s %s: %s\n\n%s", name_.c_str(), command->name.c_str(),
                  e.what(), help(*command).c_str());

@@ -132,6 +132,12 @@ class CliApp {
 
   void add(CliCommand command);
 
+  /// Version line printed (stdout, exit 0) when --version appears anywhere
+  /// on the command line — top level or after any subcommand, so every
+  /// entry point reports the same single string (src/util/version.hpp, the
+  /// same constant the serve handshake speaks).
+  void setVersion(std::string versionLine);
+
   /// Full dispatch; designed to be `return app.main(argc, argv);`.
   int main(int argc, const char* const* argv) const;
 
@@ -146,6 +152,7 @@ class CliApp {
 
   std::string name_;
   std::string summary_;
+  std::string versionLine_;
   std::vector<CliCommand> commands_;
 };
 

@@ -1,0 +1,208 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace tracered::util {
+
+namespace {
+
+constexpr const char kUnixPrefix[] = "unix:";
+constexpr const char kTcpPrefix[] = "tcp:";
+
+[[noreturn]] void sysFail(const std::string& what) {
+  throw std::runtime_error("socket: " + what + ": " + std::strerror(errno));
+}
+
+/// Splits "tcp:host:port" into (host, port); throws std::invalid_argument.
+std::pair<std::string, std::uint16_t> parseTcp(const std::string& addr) {
+  const std::string rest = addr.substr(sizeof kTcpPrefix - 1);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+    throw std::invalid_argument("socket: bad tcp address '" + addr +
+                                "' (expected tcp:<host>:<port>)");
+  const std::string host = rest.substr(0, colon);
+  const std::string portStr = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(portStr.c_str(), &end, 10);
+  if (end == portStr.c_str() || *end != '\0' || port < 0 || port > 65535)
+    throw std::invalid_argument("socket: bad tcp port '" + portStr + "' in '" + addr + "'");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+sockaddr_un unixSockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof sa.sun_path)
+    throw std::invalid_argument("socket: unix path empty or too long: '" + path + "'");
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcpSockaddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    // Not an IPv4 literal: resolve the name (getaddrinfo, IPv4 only — the
+    // daemon's own listeners always print literals via localAddress()).
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr)
+      throw std::runtime_error("socket: cannot resolve host '" + host +
+                               "': " + gai_strerror(rc));
+    sa.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  return sa;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+IoResult readSome(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, n);
+    if (got > 0) return {IoStatus::kOk, static_cast<std::size_t>(got), 0};
+    if (got == 0) return {IoStatus::kEof, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0, 0};
+    if (errno == ECONNRESET) return {IoStatus::kEof, 0, 0};
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+IoResult writeSome(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    // MSG_NOSIGNAL keeps a racing peer close from raising SIGPIPE even
+    // before ignoreSigpipe() ran (e.g. library users that skip it).
+    const ssize_t put = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (put >= 0) return {IoStatus::kOk, static_cast<std::size_t>(put), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::kWouldBlock, 0, 0};
+    if (errno == EPIPE || errno == ECONNRESET) return {IoStatus::kClosed, 0, 0};
+    if (errno == ENOTSOCK) {
+      // Plain-file/pipe fd (tests may wire one in): fall back to write(2).
+      const ssize_t w = ::write(fd, buf, n);
+      if (w >= 0) return {IoStatus::kOk, static_cast<std::size_t>(w), 0};
+      if (errno == EPIPE) return {IoStatus::kClosed, 0, 0};
+      return {IoStatus::kError, 0, errno};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+void ignoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    sysFail("fcntl(O_NONBLOCK)");
+}
+
+bool isSocketAddress(const std::string& addr) {
+  return addr.rfind(kUnixPrefix, 0) == 0 || addr.rfind(kTcpPrefix, 0) == 0;
+}
+
+Fd listenSocket(const std::string& addr, int backlog) {
+  if (addr.rfind(kUnixPrefix, 0) == 0) {
+    const std::string path = addr.substr(sizeof kUnixPrefix - 1);
+    const sockaddr_un sa = unixSockaddr(path);
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) sysFail("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0)
+      sysFail("bind " + addr);
+    if (::listen(fd.get(), backlog) < 0) sysFail("listen " + addr);
+    setNonBlocking(fd.get());
+    return fd;
+  }
+  if (addr.rfind(kTcpPrefix, 0) == 0) {
+    const auto [host, port] = parseTcp(addr);
+    const sockaddr_in sa = tcpSockaddr(host, port);
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) sysFail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) < 0)
+      sysFail("bind " + addr);
+    if (::listen(fd.get(), backlog) < 0) sysFail("listen " + addr);
+    setNonBlocking(fd.get());
+    return fd;
+  }
+  throw std::invalid_argument("socket: unrecognized address '" + addr +
+                              "' (expected unix:<path> or tcp:<host>:<port>)");
+}
+
+std::string localAddress(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) < 0)
+    sysFail("getsockname");
+  if (ss.ss_family == AF_UNIX) {
+    const auto* sa = reinterpret_cast<const sockaddr_un*>(&ss);
+    return std::string(kUnixPrefix) + sa->sun_path;
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&ss);
+    char host[INET_ADDRSTRLEN] = {0};
+    inet_ntop(AF_INET, &sa->sin_addr, host, sizeof host);
+    return std::string(kTcpPrefix) + host + ":" + std::to_string(ntohs(sa->sin_port));
+  }
+  throw std::runtime_error("socket: unsupported address family");
+}
+
+Fd connectSocket(const std::string& addr, int retryMs) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(retryMs);
+  for (;;) {
+    int err = 0;
+    if (addr.rfind(kUnixPrefix, 0) == 0) {
+      const sockaddr_un sa = unixSockaddr(addr.substr(sizeof kUnixPrefix - 1));
+      Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+      if (!fd.valid()) sysFail("socket(AF_UNIX)");
+      if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0)
+        return fd;
+      err = errno;
+    } else if (addr.rfind(kTcpPrefix, 0) == 0) {
+      const auto [host, port] = parseTcp(addr);
+      const sockaddr_in sa = tcpSockaddr(host, port);
+      Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+      if (!fd.valid()) sysFail("socket(AF_INET)");
+      if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0)
+        return fd;
+      err = errno;
+    } else {
+      throw std::invalid_argument("socket: unrecognized address '" + addr +
+                                  "' (expected unix:<path> or tcp:<host>:<port>)");
+    }
+    // Daemon-not-up-yet errors are retryable; anything else is final.
+    const bool retryable = err == ECONNREFUSED || err == ENOENT || err == ECONNRESET;
+    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+      errno = err;
+      sysFail("connect " + addr);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace tracered::util

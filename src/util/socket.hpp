@@ -1,0 +1,106 @@
+// POSIX socket helpers for the serve subsystem and its clients.
+//
+// Address strings are explicit about the transport:
+//
+//   unix:<path>         unix-domain stream socket at <path>
+//   tcp:<host>:<port>   TCP socket (host is an IPv4 literal or name;
+//                       port 0 asks the kernel for a free port — read the
+//                       result back with localAddress())
+//
+// Everything here is a thin RAII/error-checking wrapper: Fd owns one
+// descriptor, listenSocket/connectSocket translate address strings, and the
+// readSome/writeSome helpers fold EINTR away and report EOF/EAGAIN/EPIPE as
+// values instead of a signal (callers pair them with ignoreSigpipe(), so a
+// closed peer is always a per-connection condition, never a process kill).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tracered::util {
+
+/// Move-only owner of one file descriptor (closed on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Closes now (idempotent).
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of readSome/writeSome, with the conditions a poll loop branches on
+/// promoted to values.
+enum class IoStatus {
+  kOk,          ///< `n` bytes transferred (> 0)
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK on a non-blocking fd
+  kEof,         ///< read: orderly peer shutdown (n == 0)
+  kClosed,      ///< write: peer gone (EPIPE/ECONNRESET)
+  kError,       ///< any other errno (in `err`)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  std::size_t n = 0;  ///< bytes transferred when status == kOk
+  int err = 0;        ///< errno when status == kError
+};
+
+/// read(2) with EINTR retry; never throws.
+IoResult readSome(int fd, void* buf, std::size_t n);
+
+/// write/send with EINTR retry and MSG_NOSIGNAL where supported, so a closed
+/// peer reports IoStatus::kClosed instead of raising SIGPIPE; never throws.
+IoResult writeSome(int fd, const void* buf, std::size_t n);
+
+/// Process-wide SIGPIPE -> SIG_IGN (idempotent). Every long-lived writer —
+/// the CLI front end and the serve daemon — calls this once so a vanished
+/// reader surfaces as a write error, never a process kill.
+void ignoreSigpipe();
+
+/// Marks `fd` non-blocking; throws std::runtime_error on failure.
+void setNonBlocking(int fd);
+
+/// True iff `addr` has a recognized transport prefix (unix:/tcp:).
+bool isSocketAddress(const std::string& addr);
+
+/// Creates, binds, and listens per the address string (unlinking a stale
+/// unix socket path first). The returned fd is non-blocking. Throws
+/// std::invalid_argument on a malformed address, std::runtime_error on any
+/// syscall failure.
+Fd listenSocket(const std::string& addr, int backlog = 64);
+
+/// The bound address of a listening socket in the same string syntax —
+/// resolves `tcp:...:0` to the kernel-assigned port, so tests and logs can
+/// hand it straight back to connectSocket().
+std::string localAddress(int fd);
+
+/// Blocking connect to an address string. Retries connection-refused /
+/// not-yet-bound errors until `retryMs` elapses (covers the "daemon still
+/// starting" race in scripts that background `tracered serve`); 0 disables
+/// retry. Throws std::runtime_error on failure or timeout.
+Fd connectSocket(const std::string& addr, int retryMs = 0);
+
+}  // namespace tracered::util

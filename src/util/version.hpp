@@ -1,0 +1,24 @@
+// The one version identity of the tracered toolchain.
+//
+// `tracered --version` (top-level and per-subcommand), the serve daemon's
+// handshake, and the remote client's compatibility check all read THESE
+// constants — there is exactly one place a release bump happens, so the CLI
+// can never report a version whose wire protocol it does not speak.
+#pragma once
+
+namespace tracered::util {
+
+/// Human-readable toolchain version (printed by `tracered --version`).
+inline constexpr const char kVersion[] = "0.7.0";
+
+/// Wire protocol version of the `tracered serve` framing (docs/SERVE.md).
+/// Bumped on any incompatible frame/handshake change; the daemon rejects
+/// HELLO frames carrying any other value.
+inline constexpr unsigned kServeProtocolVersion = 1;
+
+/// The single version line every --version spelling prints. Includes the
+/// serve protocol version so operators can tell at a glance whether a
+/// client binary can talk to a running daemon.
+inline constexpr const char kVersionLine[] = "tracered 0.7.0 (serve protocol v1)";
+
+}  // namespace tracered::util

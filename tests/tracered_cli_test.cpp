@@ -11,6 +11,7 @@
 #include <string>
 
 #include "trace/trace_io.hpp"
+#include "util/version.hpp"
 
 #ifndef TRACERED_CLI_PATH
 #error "TRACERED_CLI_PATH must point at the built tracered binary"
@@ -246,6 +247,81 @@ TEST(TraceredCli, GenerateListsWorkloads) {
   EXPECT_EQ(list.exitCode, 0);
   for (const char* w : {"late_sender", "dyn_load_balance", "sweep3d_32p"})
     EXPECT_NE(list.output.find(w), std::string::npos) << w;
+}
+
+TEST(TraceredCli, VersionFlagPrintsTheSameLineEverywhere) {
+  // One version string for the whole tool — the same line the serve daemon
+  // quotes in protocol-version-mismatch errors (util/version.hpp).
+  const std::string expected = std::string(util::kVersionLine) + "\n";
+  const CliResult top = runCli("--version");
+  EXPECT_EQ(top.exitCode, 0);
+  EXPECT_EQ(top.output, expected);
+  for (const char* sub : {"generate", "reduce", "info", "convert", "eval", "serve"}) {
+    const CliResult r = runCli(std::string(sub) + " --version");
+    EXPECT_EQ(r.exitCode, 0) << sub;
+    EXPECT_EQ(r.output, expected) << sub;
+  }
+}
+
+TEST(TraceredCli, ClosedStdoutIsAWriteErrorNotASignalDeath) {
+  // Writing into a closed stdout must surface as exit 1 (SIGPIPE is
+  // ignored, write failures are checked), never a signal kill — the shell
+  // would report that as 128+SIGPIPE=141.
+  {
+    const std::string cmd =
+        std::string(TRACERED_CLI_PATH) + " --help >&- 2>/dev/null; echo EXIT:$?";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+    pclose(pipe);
+    EXPECT_NE(out.find("EXIT:1"), std::string::npos) << out;
+  }
+  // And a reader that vanishes mid-write (head closes the pipe) is the same
+  // story: the generate writer sees EPIPE as a failed write, exits 1.
+  {
+    const std::string status = tmpPath("cli_sigpipe_status");
+    const std::string cmd = "( " + std::string(TRACERED_CLI_PATH) +
+                            " generate late_sender --scale 8 --out /dev/stdout"
+                            " 2>/dev/null; echo $? > " + status +
+                            " ) | head -c 64 >/dev/null";
+    ASSERT_NE(std::system(cmd.c_str()), -1);
+    FILE* f = std::fopen(status.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    int rc = -1;
+    ASSERT_EQ(std::fscanf(f, "%d", &rc), 1);
+    std::fclose(f);
+    EXPECT_EQ(rc, 1) << "expected a write-error exit, not a SIGPIPE death";
+    std::remove(status.c_str());
+  }
+}
+
+TEST(TraceredCli, ServeDaemonRoundTripMatchesBatchReduce) {
+  const std::string trf = tmpPath("cli_serve.trf");
+  const std::string batch = tmpPath("cli_serve_batch.trr");
+  const std::string remote = tmpPath("cli_serve_remote.trr");
+  const std::string sock = tmpPath("cli_serve.sock");
+  std::remove(sock.c_str());
+
+  ASSERT_EQ(runCli("generate late_sender --scale 0.3 --seed 9 --out " + trf).exitCode, 0);
+  ASSERT_EQ(runCli("reduce " + trf + " --config avgWave@0.2 --out " + batch).exitCode, 0);
+
+  // One-shot daemon in the background (exits after serving one trace); the
+  // client's --connect-timeout-ms retries until the socket is up.
+  const std::string serveCmd = std::string(TRACERED_CLI_PATH) + " serve --listen unix:" +
+                               sock + " --max-traces 1 >/dev/null 2>&1 &";
+  ASSERT_EQ(std::system(serveCmd.c_str()), 0);
+
+  const CliResult rem =
+      runCli("reduce " + trf + " --remote unix:" + sock +
+             " --config avgWave@0.2 --connect-timeout-ms 10000 --out " + remote);
+  ASSERT_EQ(rem.exitCode, 0) << rem.output;
+  EXPECT_NE(rem.output.find("mode"), std::string::npos);
+
+  EXPECT_EQ(readFile(batch), readFile(remote))
+      << "remote reduction must be byte-identical to the batch path";
+  for (const std::string& p : {trf, batch, remote, sock}) std::remove(p.c_str());
 }
 
 }  // namespace

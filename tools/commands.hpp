@@ -1,4 +1,4 @@
-// The five tracered subcommands plus the small helpers they share.
+// The six tracered subcommands plus the small helpers they share.
 //
 // Each commands_*.cpp defines one CliCommand factory: flag metadata (which
 // doubles as the known-flag set for did-you-mean typo reports) plus the
@@ -21,6 +21,7 @@ CliCommand makeReduceCommand();
 CliCommand makeInfoCommand();
 CliCommand makeConvertCommand();
 CliCommand makeEvalCommand();
+CliCommand makeServeCommand();
 
 /// Positional argument `index`, or UsageError naming the missing operand.
 std::string requirePositional(const CliArgs& args, std::size_t index, const char* what);

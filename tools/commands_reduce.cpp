@@ -1,13 +1,17 @@
 // tracered reduce — reduce a trace file with any of the nine methods,
-// offline (whole trace in memory) or --streaming (chunked reader feeding a
+// offline (whole trace in memory), --streaming (chunked reader feeding a
 // ReductionSession record by record, so the trace never has to fit in
-// memory). Both modes produce byte-identical output files (tested).
+// memory), or --remote (stream the file's bytes to a `tracered serve`
+// daemon and receive the reduced trace back). All modes produce
+// byte-identical output files (tested).
 #include <chrono>
 #include <cstdio>
 
 #include "commands.hpp"
 
+#include "core/reduction_report.hpp"
 #include "core/reduction_session.hpp"
+#include "serve/client.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
 #include "util/table.hpp"
@@ -26,6 +30,50 @@ core::ProgressFn progressPrinter() {
   };
 }
 
+/// STATS keys the batch path only prints under --stats; the remote path
+/// filters the server's rows by the same set so both modes show the same
+/// table for the same flags.
+bool isStatsRow(const std::string& key) {
+  return key == "reduce wall ms" || key == "reps scanned" ||
+         key == "pruned by pre-filter" || key == "prune rate" ||
+         key == "reps visited (exact)" || key == "index pruned" ||
+         key == "index prune rate" || key == "pivot distance evals";
+}
+
+int runRemoteReduce(const CliArgs& args, const std::string& input,
+                    const core::ReductionConfig& config) {
+  for (const char* flag : {"streaming", "threads", "progress"})
+    if (args.has(flag))
+      throw UsageError("--" + std::string(flag) +
+                       " does not apply with --remote (the daemon owns the "
+                       "streaming and the thread pool)");
+  const std::string addr = args.get("remote");
+  const int retryMs = static_cast<int>(args.getInt("connect-timeout-ms", 5000));
+  const std::vector<std::uint8_t> bytes = readFile(input);
+
+  const serve::RemoteReduceResult rr =
+      serve::reduceRemote(addr, config.toString(), bytes.data(), bytes.size(), retryMs);
+
+  const bool stats = args.getBool("stats");
+  TextTable t;
+  t.header({"criterion", "value"});
+  t.row({"mode", "remote"});
+  t.row({"server", addr});
+  t.row({"input", input + " (" + fmtBytes(bytes.size()) + " streamed)"});
+  for (const auto& [key, value] : rr.statsRows)
+    if (stats || !isStatsRow(key)) t.row({key, value});
+  std::printf("%s", t.str().c_str());
+
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    // The daemon's bytes verbatim — `cmp` against the batch path's file is
+    // the cookbook's acceptance check.
+    writeFile(out, rr.trrBytes);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int runReduce(const CliArgs& args) {
   const std::string input = requirePositional(args, 0, "<input trace file>");
   core::ReductionConfig config;
@@ -33,9 +81,12 @@ int runReduce(const CliArgs& args) {
     config = core::ReductionConfig::fromName(args.get("config", "relDiff"));
   } catch (const std::invalid_argument& e) {
     // A typo'd method spec is a usage error (exit 2 + help), not a runtime
-    // failure, like every other unparseable flag value.
+    // failure, like every other unparseable flag value — checked before
+    // connecting anywhere, so --remote with a bad spec never dials out.
     throw UsageError(e.what());
   }
+  if (args.has("remote")) return runRemoteReduce(args, input, config);
+
   config.numThreads = static_cast<int>(args.getInt("threads", 1));
   const bool streaming = args.getBool("streaming");
   const bool progress = args.getBool("progress");
@@ -76,41 +127,22 @@ int runReduce(const CliArgs& args) {
                               std::chrono::steady_clock::now() - reduceStart)
                               .count();
 
-  const std::size_t reducedBytes = reducedTraceSize(result.reduced);
+  // The shared report rows (core/reduction_report) with the mode/input rows
+  // only this front end knows spliced in after "config" — the serve daemon
+  // emits the same shared rows in its STATS frame, so the two tables cannot
+  // drift.
+  core::ReportRows rows =
+      core::reductionReportRows(config, result, records, fullBytes);
+  rows.insert(rows.begin() + 1, {{"mode", streaming ? "streaming" : "offline"},
+                                 {"input", input + " (" + formatName(reader.format()) + ")"}});
+  if (stats) {
+    rows.emplace_back("reduce wall ms", fmtF(reduceMs, 1));
+    const core::ReportRows counterRows = core::matchCounterRows(result.counters);
+    rows.insert(rows.end(), counterRows.begin(), counterRows.end());
+  }
   TextTable t;
   t.header({"criterion", "value"});
-  t.row({"config", config.toString()});
-  t.row({"mode", streaming ? "streaming" : "offline"});
-  t.row({"input", input + " (" + formatName(reader.format()) + ")"});
-  t.row({"ranks", std::to_string(result.reduced.ranks.size())});
-  t.row({"records", std::to_string(records)});
-  t.row({"segments", std::to_string(result.stats.totalSegments)});
-  t.row({"stored", std::to_string(result.stats.storedSegments)});
-  t.row({"matches", std::to_string(result.stats.matches)});
-  t.row({"degree of matching", fmtF(result.stats.degreeOfMatching(), 3)});
-  t.row({"full trace bytes", fullBytes == 0 ? "-" : fmtBytes(fullBytes)});
-  t.row({"reduced bytes", fmtBytes(reducedBytes)});
-  t.row({"file %", fullBytes == 0
-                       ? "-"
-                       : fmtPct(100.0 * static_cast<double>(reducedBytes) /
-                                static_cast<double>(fullBytes))});
-  if (stats) {
-    // The matching-cost rows: wall clock of the reduce phase (read + match;
-    // everything this command does before sizing the result), plus the
-    // hot-loop instrumentation — representatives examined, how many a norm
-    // pre-filter rejected before any full vector walk, and what the
-    // per-bucket match index did (entries excluded by a window or pivot
-    // bound vs entries that survived to an exact comparison, and the
-    // distance evaluations the index spent on pivot maintenance).
-    t.row({"reduce wall ms", fmtF(reduceMs, 1)});
-    t.row({"reps scanned", std::to_string(result.counters.comparisons)});
-    t.row({"pruned by pre-filter", std::to_string(result.counters.pruned)});
-    t.row({"prune rate", fmtPct(100.0 * result.counters.pruneRate())});
-    t.row({"reps visited (exact)", std::to_string(result.counters.indexVisited)});
-    t.row({"index pruned", std::to_string(result.counters.indexPruned)});
-    t.row({"index prune rate", fmtPct(100.0 * result.counters.indexPruneRate())});
-    t.row({"pivot distance evals", std::to_string(result.counters.pivotDistEvals)});
-  }
+  for (const auto& [key, value] : rows) t.row({key, value});
   std::printf("%s", t.str().c_str());
 
   if (!out.empty()) {
@@ -126,13 +158,19 @@ CliCommand makeReduceCommand() {
   CliCommand c;
   c.name = "reduce";
   c.usage = "reduce <input> [--config <method[@threshold]>] [flags]";
-  c.summary = "reduce a trace file (nine methods, offline or --streaming)";
+  c.summary = "reduce a trace file (nine methods; offline, --streaming, or --remote)";
   c.flags = {
       {"config", "<m[@t]>",
        "similarity method and threshold, e.g. avgWave@0.2 (default relDiff at its "
        "paper threshold)"},
       {"out", "<file>", "write the reduced trace (TRR1) here"},
       {"streaming", "", "feed the file through the chunked reader record by record"},
+      {"remote", "<addr>",
+       "stream the file to a `tracered serve` daemon (unix:<path> or "
+       "tcp:<host>:<port>) instead of reducing in-process"},
+      {"connect-timeout-ms", "<ms>",
+       "with --remote: keep retrying the connect this long, for daemons still "
+       "starting up (default 5000)"},
       {"threads", "<n>", "reduction worker threads; 0 = hardware concurrency (default 1)"},
       {"progress", "", "report per-rank progress on stderr"},
       {"stats", "",

@@ -5,22 +5,32 @@
 //   tracered info app.trr
 //   tracered eval app.trf app.trr --json         # Sec. 4.3 criteria
 //   tracered convert app.trr --reconstruct --out approx.trf
+//   tracered serve --listen unix:/tmp/tracered.sock   # ingest daemon
+//   tracered reduce app.trf --remote unix:/tmp/tracered.sock --out app.trr
 //
 // docs/CLI.md is the reference (every cookbook block there runs in CI
-// against this binary); docs/FORMATS.md specifies the file formats.
+// against this binary); docs/FORMATS.md and docs/SERVE.md specify the file
+// formats and the daemon wire protocol.
 #include "commands.hpp"
 
 #include "util/cli.hpp"
+#include "util/socket.hpp"
+#include "util/version.hpp"
 
 int main(int argc, char** argv) {
   using namespace tracered;
+  // A vanished reader (head, a closed pipe, a dead daemon) must surface as a
+  // write error and exit 1, never a SIGPIPE process kill.
+  util::ignoreSigpipe();
   CliApp app("tracered",
              "similarity-based trace reduction over trace files (Mohror & "
              "Karavanic, SC 2009)");
+  app.setVersion(util::kVersionLine);
   app.add(tools::makeGenerateCommand());
   app.add(tools::makeReduceCommand());
   app.add(tools::makeInfoCommand());
   app.add(tools::makeConvertCommand());
   app.add(tools::makeEvalCommand());
+  app.add(tools::makeServeCommand());
   return app.main(argc, argv);
 }
