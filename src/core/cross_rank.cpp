@@ -1,9 +1,11 @@
 #include "core/cross_rank.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
-#include "core/segment_store.hpp"
-#include "util/bytebuf.hpp"
+#include "core/reducer.hpp"
 
 namespace tracered::core {
 
@@ -69,58 +71,149 @@ SegmentedTrace reconstructMerged(const MergedReducedTrace& merged) {
 
 namespace {
 
-void writeMsg(ByteWriter& w, const MsgInfo& m) {
-  if (m == MsgInfo{}) {
-    w.u8(0);
-    return;
-  }
-  w.u8(1);
-  w.svarint(m.peer);
-  w.svarint(m.tag);
-  w.svarint(m.root);
-  w.svarint(m.comm);
-  w.uvarint(m.bytes);
-}
+/// The distance methods decide ≈ purely from (candidate, store contents), so
+/// probing them against the frozen store prefix is sound; the
+/// iteration-based methods' match target depends on commit-time state
+/// (iter_k counts class members as of the commit; iter_avg accumulates into
+/// its match), so they take the serial leg only.
+bool probeEligible(Method m) { return m != Method::kIterK && m != Method::kIterAvg; }
 
 }  // namespace
 
-std::size_t mergedTraceSize(const MergedReducedTrace& merged) {
-  ByteWriter w;
-  w.u32(0x314d5254);  // "TRM1"
-  w.u8(1);
-  w.uvarint(merged.names.size());
-  for (const auto& s : merged.names.all()) w.str(s);
-  w.uvarint(merged.sharedStore.size());
-  for (const Segment& s : merged.sharedStore) {
-    w.uvarint(s.context);
-    w.svarint(s.end);
-    w.uvarint(s.events.size());
-    TimeUs prev = 0;
-    for (const EventInterval& e : s.events) {
-      w.uvarint(e.name);
-      w.u8(static_cast<std::uint8_t>(e.op));
-      w.svarint(e.start - prev);
-      w.svarint(e.end - e.start);
-      prev = e.end;
-      writeMsg(w, e.msg);
+CrossRankMerger::CrossRankMerger(const MergeOptions& options)
+    : options_(options),
+      commitPolicy_(options.config.makePolicy()),
+      probeEligible_(probeEligible(options.config.method)) {
+  if (options_.shardRanks == 0) options_.shardRanks = 1;
+  commitPolicy_->beginRank();  // one synthetic "rank", as in the serial pass
+  commitBase_ = commitPolicy_->matchCounters();
+}
+
+CrossRankMerger::~CrossRankMerger() = default;
+
+void CrossRankMerger::addNames(const StringTable& names) {
+  if (finished_) throw std::logic_error("cross-rank merger: addNames after finish");
+  for (const auto& s : names.all()) names_.intern(s);
+}
+
+void CrossRankMerger::addRank(const StringTable& names, const RankReduced& rank) {
+  if (finished_) throw std::logic_error("cross-rank merger: addRank after finish");
+  // Remap the rank's name ids into the merger's table — an identity mapping
+  // (no segment rewrite) when the caller interned the same table up front.
+  std::vector<NameId> map(names.size());
+  bool identity = true;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    map[i] = names_.intern(names.name(static_cast<NameId>(i)));
+    identity = identity && map[i] == static_cast<NameId>(i);
+  }
+  RankReduced copy = rank;
+  if (!identity) {
+    for (Segment& s : copy.stored) {
+      s.context = map.at(s.context);
+      for (EventInterval& e : s.events) e.name = map.at(e.name);
     }
   }
-  w.uvarint(merged.execs.size());
-  for (std::size_t r = 0; r < merged.execs.size(); ++r) {
-    const auto& execs = merged.execs[r];
-    // uvarint, matching serializeReducedTrace's rank-id encoding (ranks are
-    // non-negative; svarint would zigzag-double every id).
-    w.uvarint(static_cast<std::uint64_t>(
-        r < merged.rankIds.size() ? merged.rankIds[r] : static_cast<Rank>(r)));
-    w.uvarint(execs.size());
-    TimeUs prev = 0;
-    for (const SegmentExec& e : execs) {
-      w.uvarint(e.id);
-      w.svarint(e.start - prev);
-      prev = e.start;
-    }
+  rankIds_.push_back(copy.rank);
+  pending_.push_back(std::move(copy));
+  if (pending_.size() >= options_.shardRanks) flushShard();
+}
+
+void CrossRankMerger::addTrace(const ReducedTrace& reduced) {
+  addNames(reduced.names);  // full table first, like the serial pass
+  for (const RankReduced& rr : reduced.ranks) addRank(reduced.names, rr);
+}
+
+void CrossRankMerger::flushShard() {
+  if (pending_.empty()) return;
+  const std::size_t nUnits = pending_.size();
+
+  // Step 1 — parallel probe: test every candidate of the shard against the
+  // store prefix committed by earlier shards, which is frozen for the whole
+  // step (all commits happen in step 2). Store order puts every frozen entry
+  // before any in-shard addition, so an earliest frozen match IS the serial
+  // first match, and a miss means the serial match (if any) lies inside the
+  // shard — resolved serially below. The probe unit is one rank: each unit
+  // runs under a freshly beginRank()-reset per-worker policy and records its
+  // own counter snapshot-diff in its slot, so both the probe results and the
+  // summed counters are independent of worker count and scheduling.
+  std::vector<std::vector<std::optional<SegmentId>>> probe(nUnits);
+  if (probeEligible_ && shared_.size() > 0) {
+    std::vector<MatchCounters> unitCounters(nUnits);
+    ResolvedExecutor exec(options_.config, nUnits);
+    std::vector<std::unique_ptr<SimilarityPolicy>> policies;
+    policies.reserve(exec.workers());
+    for (std::size_t w = 0; w < exec.workers(); ++w)
+      policies.push_back(options_.config.makePolicy());
+    exec.shard([&](std::size_t worker, std::size_t unit) {
+      SimilarityPolicy& pol = *policies[worker];
+      pol.beginRank();
+      const MatchCounters base = pol.matchCounters();
+      const RankReduced& rr = pending_[unit];
+      auto& res = probe[unit];
+      res.resize(rr.stored.size());
+      for (SegmentId id = 0; id < rr.stored.size(); ++id)
+        res[id] = pol.tryMatch(rr.stored[id], shared_);
+      unitCounters[unit] = pol.matchCounters() - base;
+    });
+    for (const MatchCounters& c : unitCounters) probeCounters_.merge(c);
   }
-  return w.size();
+
+  // Step 2 — serial commit walk in candidate order, exactly the reference
+  // pass: probe-matched candidates just remap; the rest run the full
+  // tryMatch on the live store (finding in-shard additions) or are appended.
+  // Match decisions are pure functions of (candidate, store, threshold) —
+  // the acceleration tiers' bit-identity guarantee — so skipping the commit
+  // policy for probe-matched candidates can never change a later decision.
+  for (std::size_t unit = 0; unit < nUnits; ++unit) {
+    const RankReduced& rr = pending_[unit];
+    const auto& probed = probe[unit];
+    std::vector<SegmentId> remap(rr.stored.size());
+    for (SegmentId id = 0; id < rr.stored.size(); ++id) {
+      ++inputReps_;
+      const Segment& rep = rr.stored[id];
+      std::optional<SegmentId> match;
+      if (id < probed.size() && probed[id].has_value()) {
+        match = probed[id];
+      } else {
+        match = commitPolicy_->tryMatch(rep, shared_);
+      }
+      if (match.has_value()) {
+        remap[id] = *match;
+      } else {
+        const SegmentId sharedId = shared_.add(rep);
+        commitPolicy_->onStored(shared_.segment(sharedId), sharedId);
+        remap[id] = sharedId;
+      }
+    }
+    auto& row = execs_.emplace_back();
+    row.reserve(rr.execs.size());
+    for (const SegmentExec& e : rr.execs)
+      row.push_back(SegmentExec{remap.at(e.id), e.start});
+  }
+  pending_.clear();
+}
+
+MergeResult CrossRankMerger::finish() {
+  if (finished_) throw std::logic_error("cross-rank merger: finish after finish");
+  finished_ = true;
+  flushShard();
+  commitPolicy_->finishRank(shared_);  // iter_avg's write-back, once
+  MergeResult out;
+  out.stats.inputRepresentatives = inputReps_;
+  out.stats.mergedRepresentatives = shared_.size();
+  out.stats.counters = probeCounters_;
+  out.stats.counters.merge(commitPolicy_->matchCounters() - commitBase_);
+  out.merged.names = std::move(names_);
+  out.merged.sharedStore = std::move(shared_).takeAll();
+  out.merged.rankIds = std::move(rankIds_);
+  out.merged.execs = std::move(execs_);
+  return out;
+}
+
+MergeResult mergeAcrossRanks(const ReducedTrace& reduced, const MergeOptions& options) {
+  CrossRankMerger merger(options);
+  merger.addTrace(reduced);
+  return merger.finish();
 }
 
 }  // namespace tracered::core

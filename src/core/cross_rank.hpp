@@ -11,29 +11,56 @@
 // This preserves reconstruction semantics exactly like the intra-process
 // pass: every exec still expands to a compatible representative; only the
 // measurements may now come from a peer rank's representative.
+//
+// Two drivers share those semantics:
+//
+//   * The policy-level serial pass (`mergeAcrossRanks(reduced, policy)`) —
+//     the reference: one synthetic "rank" holding the shared store, every
+//     representative tested in (rank order, store order), first match wins.
+//   * The config-driven hierarchical driver (`CrossRankMerger` and the
+//     MergeOptions overload): ranks are partitioned into shards and each
+//     shard climbs the tree in two steps — a PARALLEL probe of every
+//     candidate against the frozen store prefix committed by earlier shards,
+//     then a SERIAL commit walk in candidate order that resolves the
+//     candidates the probe could not (first match inside the shard, or a new
+//     store entry).
+//
+// Why the two-step shape instead of merging subtrees independently and
+// combining: similarity is not transitive, so a candidate can match a
+// *local* shard winner while the serial pass would have matched it against
+// an earlier rank's representative — independent subtree merges are NOT
+// associative under first-match semantics and cannot be bit-identical. The
+// frozen-prefix probe is: frozen entries precede every in-shard addition in
+// store order, so the earliest frozen match IS the serial first match, and a
+// probe miss means the serial match (if any) is an in-shard addition, which
+// the serial commit walk finds exactly where the reference pass would. The
+// merged output is therefore bit-identical to the serial reference for
+// every shard size and thread count, by construction (and by
+// cross_rank_merge_test's registry-wide differential sweep).
+//
+// The iteration-based methods (iter_k, iter_avg) are order-sensitive — their
+// match target depends on commit-time state — so they skip the probe and run
+// entirely through the serial commit leg (their per-candidate work is O(1)ish
+// anyway; the parallel win targets the distance methods' vector walks).
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
+#include "core/reduction_config.hpp"
+#include "core/segment_store.hpp"
 #include "core/similarity.hpp"
 #include "trace/reduced_trace.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tracered::core {
 
-/// A reduced trace whose representatives are shared across ranks.
-struct MergedReducedTrace {
-  StringTable names;
-  std::vector<Segment> sharedStore;            ///< Deduplicated representatives.
-  std::vector<Rank> rankIds;                   ///< Rank id of each execs row
-                                               ///< (rank ids may be sparse).
-  std::vector<std::vector<SegmentExec>> execs; ///< Per rank, ids into sharedStore.
-
-  std::size_t totalExecs() const {
-    std::size_t n = 0;
-    for (const auto& e : execs) n += e.size();
-    return n;
-  }
-};
+// The merged-trace data model lives in trace/ (trace/reduced_trace.hpp) with
+// its "TRM1" codec; re-exported here for the core-side API and existing
+// callers.
+using tracered::MergedReducedTrace;
+using tracered::mergedTraceSize;
 
 /// Statistics of a merge.
 struct MergeStats {
@@ -41,7 +68,12 @@ struct MergeStats {
   std::size_t mergedRepresentatives = 0;
   MatchCounters counters;  ///< Shared-store scans / pre-filter rejections —
                            ///< the same policy hooks (and the same feature
-                           ///< cache) drive the inter-rank merge.
+                           ///< cache) drive the inter-rank merge. For the
+                           ///< hierarchical driver: probe counters (per-rank
+                           ///< snapshot-diffs, summed in rank order at the
+                           ///< shard join) + commit-policy counters —
+                           ///< deterministic for a fixed MergeOptions across
+                           ///< thread counts and executors.
 
   double mergeRatio() const {
     return inputRepresentatives == 0
@@ -51,18 +83,95 @@ struct MergeStats {
   }
 };
 
+/// How the hierarchical driver runs: which policy decides ≈ (config.method /
+/// threshold / acceleration), how it executes (config.executor / numThreads,
+/// resolved exactly like the intra-process drivers), and how many ranks form
+/// one tree shard. Neither shardRanks nor the execution policy ever changes
+/// the merged bytes — only the wall clock and the peak working set, which is
+/// O(shard + shared store) when ranks are fed incrementally.
+struct MergeOptions {
+  ReductionConfig config;
+  std::size_t shardRanks = 64;  ///< Ranks buffered per tree shard (>= 1).
+};
+
+/// Result of a config-driven merge.
+struct MergeResult {
+  MergedReducedTrace merged;
+  MergeStats stats;
+};
+
 /// Merges the per-rank stores of `reduced` using `policy` for the ≈ test.
 /// The policy sees one synthetic "rank" containing all representatives in
 /// rank order (rank 0's first), so earlier ranks' representatives win — the
-/// same first-match rule as the intra-process algorithm.
+/// same first-match rule as the intra-process algorithm. This is the serial
+/// reference the hierarchical driver is tested against.
 MergedReducedTrace mergeAcrossRanks(const ReducedTrace& reduced,
                                     SimilarityPolicy& policy, MergeStats* stats = nullptr);
+
+/// Config-driven hierarchical merge of a whole reduced trace — bit-identical
+/// to the serial reference under `options.config`'s method/threshold for any
+/// shard size, executor, or thread count.
+MergeResult mergeAcrossRanks(const ReducedTrace& reduced, const MergeOptions& options);
+
+/// Incremental hierarchical merger: feed ranks one at a time (in rank order)
+/// and the merger buffers at most one shard before folding it into the
+/// shared store, so very many ranks merge in O(shard + shared store + output
+/// exec tables) memory — the full per-rank ReducedTrace never needs to be
+/// materialized. finish() returns the same bytes as the whole-trace overload
+/// fed the same ranks (given the same name-interning order; addTrace interns
+/// the input's full string table up front exactly like the serial pass).
+class CrossRankMerger {
+ public:
+  explicit CrossRankMerger(const MergeOptions& options);
+  ~CrossRankMerger();
+
+  CrossRankMerger(const CrossRankMerger&) = delete;
+  CrossRankMerger& operator=(const CrossRankMerger&) = delete;
+
+  const MergeOptions& options() const { return options_; }
+
+  /// Interns every name of `names` (in table order) ahead of the ranks that
+  /// reference it. Idempotent per distinct name; calling with the whole
+  /// trace's table before the first addRank reproduces the serial pass's
+  /// string table bit-identically.
+  void addNames(const StringTable& names);
+
+  /// Feeds one rank's reduction. `names` is the table `rank`'s NameIds refer
+  /// to; ids are remapped into the merger's own table (an identity mapping
+  /// when addNames interned the same table up front). Throws
+  /// std::logic_error after finish().
+  void addRank(const StringTable& names, const RankReduced& rank);
+
+  /// Feeds a whole reduced trace: full string table first, then every rank
+  /// in order.
+  void addTrace(const ReducedTrace& reduced);
+
+  /// Ranks fed so far.
+  std::size_t ranksAdded() const { return rankIds_.size(); }
+
+  /// Folds any buffered partial shard, finalizes the policy (iter_avg's
+  /// write-back), and returns the merged trace + stats. Single-shot.
+  MergeResult finish();
+
+ private:
+  void flushShard();
+
+  MergeOptions options_;
+  StringTable names_;
+  SegmentStore shared_;
+  std::unique_ptr<SimilarityPolicy> commitPolicy_;
+  MatchCounters commitBase_;
+  MatchCounters probeCounters_;
+  bool probeEligible_;
+  std::vector<Rank> rankIds_;
+  std::vector<std::vector<SegmentExec>> execs_;
+  std::vector<RankReduced> pending_;  ///< The shard being buffered.
+  std::size_t inputReps_ = 0;
+  bool finished_ = false;
+};
 
 /// Expands a merged trace back to per-rank segments (the cross-rank analogue
 /// of core::reconstruct).
 SegmentedTrace reconstructMerged(const MergedReducedTrace& merged);
-
-/// Serialized size of a merged trace (same encoding family as "TRR1").
-std::size_t mergedTraceSize(const MergedReducedTrace& merged);
 
 }  // namespace tracered::core

@@ -26,15 +26,26 @@ ReportRows reductionReportRows(const ReductionConfig& config,
   return rows;
 }
 
-ReportRows matchCounterRows(const MatchCounters& counters) {
+ReportRows matchCounterRows(const MatchCounters& counters, const std::string& prefix) {
   ReportRows rows;
-  rows.emplace_back("reps scanned", std::to_string(counters.comparisons));
-  rows.emplace_back("pruned by pre-filter", std::to_string(counters.pruned));
-  rows.emplace_back("prune rate", fmtPct(100.0 * counters.pruneRate()));
-  rows.emplace_back("reps visited (exact)", std::to_string(counters.indexVisited));
-  rows.emplace_back("index pruned", std::to_string(counters.indexPruned));
-  rows.emplace_back("index prune rate", fmtPct(100.0 * counters.indexPruneRate()));
-  rows.emplace_back("pivot distance evals", std::to_string(counters.pivotDistEvals));
+  rows.emplace_back(prefix + "reps scanned", std::to_string(counters.comparisons));
+  rows.emplace_back(prefix + "pruned by pre-filter", std::to_string(counters.pruned));
+  rows.emplace_back(prefix + "prune rate", fmtPct(100.0 * counters.pruneRate()));
+  rows.emplace_back(prefix + "reps visited (exact)", std::to_string(counters.indexVisited));
+  rows.emplace_back(prefix + "index pruned", std::to_string(counters.indexPruned));
+  rows.emplace_back(prefix + "index prune rate", fmtPct(100.0 * counters.indexPruneRate()));
+  rows.emplace_back(prefix + "pivot distance evals", std::to_string(counters.pivotDistEvals));
+  return rows;
+}
+
+ReportRows mergeReportRows(const MergeOptions& options, const MergeResult& result) {
+  ReportRows rows;
+  rows.emplace_back("merge config", options.config.toString());
+  rows.emplace_back("merge shard ranks", std::to_string(options.shardRanks));
+  rows.emplace_back("merge input reps", std::to_string(result.stats.inputRepresentatives));
+  rows.emplace_back("merge output reps", std::to_string(result.stats.mergedRepresentatives));
+  rows.emplace_back("merge ratio", fmtF(result.stats.mergeRatio(), 3));
+  rows.emplace_back("merged bytes", fmtBytes(mergedTraceSize(result.merged)));
   return rows;
 }
 

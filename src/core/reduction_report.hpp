@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cross_rank.hpp"
 #include "core/reducer.hpp"
 #include "core/reduction_config.hpp"
 
@@ -31,6 +32,14 @@ ReportRows reductionReportRows(const ReductionConfig& config,
 
 /// The matching-cost instrumentation rows behind `--stats`: representatives
 /// scanned / pre-filter prunes / index behavior (docs/CLI.md documents each).
-ReportRows matchCounterRows(const MatchCounters& counters);
+/// `prefix` labels the rows ("merge " for the merge stage's counters, so they
+/// never collide with the reduction's own rows in one table).
+ReportRows matchCounterRows(const MatchCounters& counters, const std::string& prefix = "");
+
+/// The cross-rank merge-stage rows behind `--merge`: merge config, shard
+/// size, representatives in/out, merge ratio, merged-trace bytes. With
+/// `--stats`, callers append matchCounterRows(result.stats.counters,
+/// "merge ") after these.
+ReportRows mergeReportRows(const MergeOptions& options, const MergeResult& result);
 
 }  // namespace tracered::core

@@ -25,12 +25,23 @@ void ReductionSession::feed(Rank rank, const RawRecord& record) {
   ++recordsFed_;
 }
 
+void ReductionSession::setMergeOptions(const MergeOptions& options) {
+  if (finished_)
+    throw std::logic_error("reduction session: setMergeOptions after the session finished");
+  mergeOptions_ = options;
+}
+
+ReductionResult ReductionSession::finalize(ReductionResult result) {
+  if (mergeOptions_) mergeResult_ = mergeAcrossRanks(result.reduced, *mergeOptions_);
+  return result;
+}
+
 ReductionResult ReductionSession::finish() {
   if (finished_)
     throw std::logic_error("reduction session: finish after the session finished");
   finished_ = true;
-  if (!online_) return assembleReduction(names_, {}, {}, {});
-  return online_->finish(progress_);
+  if (!online_) return finalize(assembleReduction(names_, {}, {}, {}));
+  return finalize(online_->finish(progress_));
 }
 
 ReductionResult ReductionSession::reduce(const SegmentedTrace& segmented) {
@@ -41,7 +52,7 @@ ReductionResult ReductionSession::reduce(const SegmentedTrace& segmented) {
         "reduction session: reduce on a streaming session (records were fed or "
         "ranks pre-registered via ensureRank; call finish() instead)");
   finished_ = true;
-  return reduceTrace(segmented, names_, config_, progress_);
+  return finalize(reduceTrace(segmented, names_, config_, progress_));
 }
 
 }  // namespace tracered::core

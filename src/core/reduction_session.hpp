@@ -23,6 +23,7 @@
 
 #include <optional>
 
+#include "core/cross_rank.hpp"
 #include "core/online_reducer.hpp"
 #include "core/reducer.hpp"
 #include "core/reduction_config.hpp"
@@ -45,6 +46,26 @@ class ReductionSession {
   /// (ranksCompleted, ranksTotal) — the hook long sweeps use for progress
   /// bars. Applies to whichever of reduce()/finish() runs later.
   void onProgress(ProgressFn progress) { progress_ = std::move(progress); }
+
+  // --- optional cross-rank merge stage ---
+
+  /// Arms the merge stage: when the session finalizes (reduce() or
+  /// finish()), the per-rank reduction is additionally folded into one
+  /// application-wide merged trace via the hierarchical CrossRankMerger,
+  /// available from mergeResult() afterwards. Works identically on the
+  /// offline and streaming paths (the reduction they produce is
+  /// bit-identical, so the merge is too). Throws std::logic_error after the
+  /// session finished.
+  void setMergeOptions(const MergeOptions& options);
+
+  /// The merge stage's output; engaged once the session has finalized with
+  /// merge options set, nullopt otherwise.
+  const std::optional<MergeResult>& mergeResult() const { return mergeResult_; }
+
+  /// Moves the merge stage's output out of a finalized session (merged
+  /// traces can be large; front ends that write them to disk should not pay
+  /// for a copy).
+  std::optional<MergeResult> takeMergeResult() { return std::move(mergeResult_); }
 
   // --- online (streaming) use ---
 
@@ -76,10 +97,14 @@ class ReductionSession {
   ReductionResult reduce(const SegmentedTrace& segmented);
 
  private:
+  ReductionResult finalize(ReductionResult result);
+
   const StringTable& names_;
   ReductionConfig config_;
   ProgressFn progress_;
   std::optional<OnlineReducer> online_;  ///< engaged on first feed/ensureRank
+  std::optional<MergeOptions> mergeOptions_;
+  std::optional<MergeResult> mergeResult_;
   std::size_t recordsFed_ = 0;
   bool finished_ = false;
 };

@@ -48,4 +48,21 @@ struct ReducedTrace {
   }
 };
 
+/// A reduced trace whose representatives are shared across ranks — the
+/// output of the inter-process pass (core/cross_rank.hpp). Serialized as
+/// "TRM1" (trace_io.hpp; docs/FORMATS.md §3).
+struct MergedReducedTrace {
+  StringTable names;
+  std::vector<Segment> sharedStore;            ///< Deduplicated representatives.
+  std::vector<Rank> rankIds;                   ///< Rank id of each execs row
+                                               ///< (rank ids may be sparse).
+  std::vector<std::vector<SegmentExec>> execs; ///< Per rank, ids into sharedStore.
+
+  std::size_t totalExecs() const {
+    std::size_t n = 0;
+    for (const auto& e : execs) n += e.size();
+    return n;
+  }
+};
+
 }  // namespace tracered

@@ -20,6 +20,7 @@ namespace tracered::codec {
 
 inline constexpr std::uint32_t kFullMagic = 0x31465254;     // "TRF1"
 inline constexpr std::uint32_t kReducedMagic = 0x31525254;  // "TRR1"
+inline constexpr std::uint32_t kMergedMagic = 0x314d5254;   // "TRM1"
 inline constexpr std::uint8_t kVersion = 1;
 
 /// Decodes and validates the <magic, version> preamble of a full trace —

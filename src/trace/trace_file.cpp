@@ -27,6 +27,8 @@ const char* formatName(TraceFileFormat f) {
       return "full binary (TRF1)";
     case TraceFileFormat::kReducedBinary:
       return "reduced binary (TRR1)";
+    case TraceFileFormat::kMergedBinary:
+      return "merged binary (TRM1)";
     case TraceFileFormat::kText:
       return "text trace v1";
   }
@@ -45,11 +47,12 @@ TraceFileFormat detectOpenStream(std::istream& f, const std::string& path) {
     // constants — the single definition of the magics.
     std::uint32_t m = 0;
     for (int i = 0; i < 4; ++i) m |= static_cast<std::uint32_t>(magic[i]) << (8 * i);
-    if (m == codec::kFullMagic || m == codec::kReducedMagic) {
+    if (m == codec::kFullMagic || m == codec::kReducedMagic || m == codec::kMergedMagic) {
       f.clear();
       f.seekg(0);
-      return m == codec::kFullMagic ? TraceFileFormat::kFullBinary
-                                    : TraceFileFormat::kReducedBinary;
+      if (m == codec::kFullMagic) return TraceFileFormat::kFullBinary;
+      return m == codec::kReducedMagic ? TraceFileFormat::kReducedBinary
+                                       : TraceFileFormat::kMergedBinary;
     }
   }
   // Not a binary trace: accept as text iff the first non-blank line is a v1
@@ -104,6 +107,12 @@ TraceFileReader::TraceFileReader(const std::string& path, std::size_t chunkBytes
         "' is already a reduced trace (TRR1) where a full trace is expected; "
         "'tracered convert --reconstruct' turns it into an approximated full trace "
         "(library code: deserializeReducedTrace)");
+  if (format_ == TraceFileFormat::kMergedBinary)
+    throw std::runtime_error(
+        "trace_file: '" + path +
+        "' is a cross-rank merged trace (TRM1) where a full trace is expected; "
+        "merged traces are small by construction — read them whole via "
+        "deserializeMergedTrace");
   if (format_ == TraceFileFormat::kFullBinary) {
     bin_.emplace(in_, chunkBytes);
     openBinary();

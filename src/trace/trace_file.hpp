@@ -26,6 +26,7 @@ namespace tracered {
 enum class TraceFileFormat {
   kFullBinary,     ///< "TRF1": full trace, binary (docs/FORMATS.md §1).
   kReducedBinary,  ///< "TRR1": reduced trace, binary (docs/FORMATS.md §2).
+  kMergedBinary,   ///< "TRM1": cross-rank merged trace (docs/FORMATS.md §2b).
   kText,           ///< Text trace v1, full traces only (docs/FORMATS.md §3).
 };
 

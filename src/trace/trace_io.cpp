@@ -95,10 +95,76 @@ ReducedTrace deserializeReducedTrace(const std::vector<std::uint8_t>& bytes) {
   return out;
 }
 
+std::vector<std::uint8_t> serializeMergedTrace(const MergedReducedTrace& merged) {
+  ByteWriter w;
+  w.u32(codec::kMergedMagic);
+  w.u8(codec::kVersion);
+  codec::writeStringTable(w, merged.names);
+  w.uvarint(merged.sharedStore.size());
+  for (const Segment& s : merged.sharedStore) codec::writeSegment(w, s);
+  w.uvarint(merged.execs.size());
+  for (std::size_t r = 0; r < merged.execs.size(); ++r) {
+    const auto& execs = merged.execs[r];
+    // uvarint, matching serializeReducedTrace's rank-id encoding (ranks are
+    // non-negative; svarint would zigzag-double every id). Rows without a
+    // recorded rank id (hand-built traces) fall back to positional labels,
+    // mirroring reconstructMerged.
+    w.uvarint(static_cast<std::uint64_t>(
+        r < merged.rankIds.size() ? merged.rankIds[r] : static_cast<Rank>(r)));
+    w.uvarint(execs.size());
+    TimeUs prev = 0;
+    for (const SegmentExec& e : execs) {
+      w.uvarint(e.id);
+      w.svarint(e.start - prev);
+      prev = e.start;
+    }
+  }
+  return w.bytes();
+}
+
+MergedReducedTrace deserializeMergedTrace(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != codec::kMergedMagic)
+    throw std::runtime_error("trace_io: bad merged-trace magic");
+  if (r.u8() != codec::kVersion) throw std::runtime_error("trace_io: unsupported version");
+  MergedReducedTrace out;
+  out.names = codec::readStringTable(r);
+  const std::uint64_t nStore = r.uvarint();
+  out.sharedStore.reserve(nStore);
+  for (std::uint64_t i = 0; i < nStore; ++i)
+    out.sharedStore.push_back(codec::readSegment(r, /*rank=*/0));
+  const std::uint64_t nRanks = r.uvarint();
+  out.rankIds.reserve(nRanks);
+  out.execs.reserve(nRanks);
+  for (std::uint64_t i = 0; i < nRanks; ++i) {
+    out.rankIds.push_back(static_cast<Rank>(r.uvarint()));
+    const std::uint64_t nExecs = r.uvarint();
+    std::vector<SegmentExec> execs;
+    execs.reserve(nExecs);
+    TimeUs prev = 0;
+    for (std::uint64_t j = 0; j < nExecs; ++j) {
+      SegmentExec e;
+      e.id = static_cast<SegmentId>(r.uvarint());
+      if (e.id >= out.sharedStore.size())
+        throw std::runtime_error("trace_io: merged exec id out of range");
+      e.start = prev + r.svarint();
+      prev = e.start;
+      execs.push_back(e);
+    }
+    out.execs.push_back(std::move(execs));
+  }
+  if (!r.atEnd()) throw std::runtime_error("trace_io: trailing bytes in merged trace");
+  return out;
+}
+
 std::size_t fullTraceSize(const Trace& trace) { return serializeFullTrace(trace).size(); }
 
 std::size_t reducedTraceSize(const ReducedTrace& reduced) {
   return serializeReducedTrace(reduced).size();
+}
+
+std::size_t mergedTraceSize(const MergedReducedTrace& merged) {
+  return serializeMergedTrace(merged).size();
 }
 
 void writeFile(const std::string& path, const std::vector<std::uint8_t>& bytes) {

@@ -7,12 +7,14 @@
 // stats-merge algebra.
 #include <gtest/gtest.h>
 
+#include "core/cross_rank.hpp"
 #include "core/methods.hpp"
 #include "core/online_reducer.hpp"
 #include "core/reducer.hpp"
 #include "core/reduction_session.hpp"
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
 #include "util/executor.hpp"
 
 namespace tracered::core {
@@ -86,6 +88,72 @@ TEST(ParallelReduce, RegistryWideDriverEquivalence) {
       expectIdentical(serial, reduceStreaming(trace, config), "streaming session");
     }
   }
+}
+
+// The driver matrix extended through the merge stage: on every registered
+// workload, a session armed with setMergeOptions produces merged TRM1 bytes
+// identical to the serial reference merge of the serial reduction — across
+// --threads {1, 2, 8}, a shared PooledExecutor, and the offline vs streaming
+// paths alike.
+TEST(ParallelReduce, RegistryWideMergeStageEquivalence) {
+  eval::WorkloadOptions opts;
+  opts.scale = 0.06;
+  util::PooledExecutor shared(4);
+  const Method m = Method::kAvgWave;  // per-method coverage lives in
+                                      // cross_rank_merge_test's sweep
+  for (const std::string& workload : eval::allWorkloads()) {
+    SCOPED_TRACE(workload);
+    const Trace trace = eval::runWorkload(workload, opts);
+    const SegmentedTrace segmented = segmentTrace(trace);
+
+    auto policy = ReductionConfig::defaults(m).makePolicy();
+    const ReductionResult serial = reduceTrace(segmented, trace.names(), *policy);
+    auto mergePolicy = ReductionConfig::defaults(m).makePolicy();
+    const std::vector<std::uint8_t> want =
+        serializeMergedTrace(mergeAcrossRanks(serial.reduced, *mergePolicy));
+
+    auto mergedBytesOf = [&](ReductionSession& session, bool streaming) {
+      MergeOptions mo;
+      mo.config = session.config();
+      mo.shardRanks = 3;
+      session.setMergeOptions(mo);
+      if (streaming) {
+        for (Rank r = 0; r < trace.numRanks(); ++r) {
+          session.ensureRank(r);
+          for (const RawRecord& rec : trace.rank(r).records) session.feed(r, rec);
+        }
+        session.finish();
+      } else {
+        session.reduce(segmented);
+      }
+      const auto& result = session.mergeResult();
+      EXPECT_TRUE(result.has_value());
+      return serializeMergedTrace(result->merged);
+    };
+
+    for (int threads : {1, 2, 8}) {
+      ReductionConfig cfg = ReductionConfig::defaults(m);
+      cfg.numThreads = threads;
+      ReductionSession offline(trace.names(), cfg);
+      EXPECT_EQ(mergedBytesOf(offline, false), want)
+          << "offline threads=" << threads;
+      ReductionSession streaming(trace.names(), cfg);
+      EXPECT_EQ(mergedBytesOf(streaming, true), want)
+          << "streaming threads=" << threads;
+    }
+    ReductionSession pooled(trace.names(),
+                            ReductionConfig::defaults(m).withExecutor(shared));
+    EXPECT_EQ(mergedBytesOf(pooled, false), want) << "pooled executor";
+  }
+}
+
+TEST(ParallelReduce, MergeStageArmsOnlyBeforeFinalize) {
+  StringTable names;
+  names.intern("main");
+  ReductionSession session(names, ReductionConfig::defaults(Method::kAbsDiff));
+  session.reduce({});
+  EXPECT_FALSE(session.mergeResult().has_value());  // never armed
+  EXPECT_THROW(session.setMergeOptions({}), std::logic_error);
 }
 
 TEST(ParallelReduce, OnlineParallelFinishMatchesSerialFinish) {

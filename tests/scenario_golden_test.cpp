@@ -14,7 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "core/cross_rank.hpp"
+#include "core/methods.hpp"
+#include "core/reducer.hpp"
 #include "eval/workloads.hpp"
+#include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
 #include "util/hash.hpp"
 
@@ -97,6 +101,87 @@ TEST(ScenarioGolden, EveryGeneratorReproducesItsChecksum) {
                     trace.numRanks(), trace.totalRecords(), bytes.size(),
                     static_cast<unsigned long long>(hash));
       ADD_FAILURE() << "generator output drifted; expected row:\n      " << line;
+    }
+  }
+}
+
+// ---- merged-trace (TRM1) corpus ------------------------------------------
+//
+// The same determinism pin, extended through the reduce → cross-rank-merge
+// pipeline: each workload at the golden (scale, seed), reduced with avgWave
+// at its paper threshold, then merged hierarchically (shard 8, 2 threads —
+// the merge is bit-identical to serial for ANY shard/thread choice, which is
+// exactly what these rows pin alongside the encoder).
+
+struct MergedGoldenRow {
+  const char* name;
+  std::size_t sharedReps;  ///< representatives in the merged shared store
+  std::size_t bytes;       ///< serialized TRM1 size
+  std::uint64_t fnv1a;     ///< FNV-1a of the TRM1 bytes
+};
+
+const std::vector<MergedGoldenRow>& mergedGoldenCorpus() {
+  static const std::vector<MergedGoldenRow> kRows = {
+      {"late_sender", 16, 784, 0x6e422f6b53a6e224ull},
+      {"late_receiver", 15, 770, 0xfad0a948b15080f8ull},
+      {"early_gather", 9, 632, 0x96f9f57f14c30c0full},
+      {"late_broadcast", 8, 616, 0xe046721397a27e72ull},
+      {"imbalance_at_mpi_barrier", 10, 659, 0x64f6031836660bf1ull},
+      {"Nto1_32", 14, 2461, 0x019a388149a71356ull},
+      {"Nto1_1024", 26, 2688, 0x59346dd4f1bfacdfull},
+      {"1toN_32", 16, 2497, 0xf7f2ce555841c126ull},
+      {"1toN_1024", 21, 2590, 0x34ba76c13baa7a27ull},
+      {"1to1s_32", 72, 4387, 0x6e0091692df4df5bull},
+      {"1to1s_1024", 146, 6863, 0x15eeec49e8aadb1full},
+      {"1to1r_32", 88, 4048, 0x7c64507e63514dedull},
+      {"1to1r_1024", 165, 5888, 0x81355ccf0db4b587ull},
+      {"NtoN_32", 12, 2435, 0x9340fae35ea94677ull},
+      {"NtoN_1024", 18, 2562, 0x4c5862c51ff6e36cull},
+      {"dyn_load_balance", 9, 703, 0x95885d9e6017720eull},
+      {"sweep3d_8p", 126, 12541, 0x79d20fa3555f8b06ull},
+      {"sweep3d_32p", 502, 140557, 0x5ed4933bd10048dcull},
+      {"scenario:bursty_phases", 7, 626, 0xe99035336477303aull},
+      {"scenario:drifting_cost", 8, 617, 0x6d8f0240ae71c0d4ull},
+      {"scenario:stragglers", 8, 888, 0xf0245425e3388f0dull},
+      {"scenario:sparse_ranks", 16, 1020, 0xa10d9340782d2f71ull},
+      {"scenario:multi_region", 85, 2919, 0xbf0dd22ad4aec76aull},
+      {"scenario:noise_profile", 8, 1035, 0xeff41107593f0b28ull},
+      {"scenario:random_walk_cost", 10, 659, 0xd3411494a533eb45ull},
+  };
+  return kRows;
+}
+
+TEST(ScenarioGolden, MergedCorpusCoversExactlyTheRegistry) {
+  std::set<std::string> registry(allWorkloads().begin(), allWorkloads().end());
+  std::set<std::string> corpus;
+  for (const MergedGoldenRow& row : mergedGoldenCorpus()) corpus.insert(row.name);
+  EXPECT_EQ(corpus, registry);
+}
+
+TEST(ScenarioGolden, EveryWorkloadReproducesItsMergedChecksum) {
+  for (const MergedGoldenRow& row : mergedGoldenCorpus()) {
+    SCOPED_TRACE(row.name);
+    const Trace trace = runWorkload(row.name, goldenOptions());
+    auto policy = core::makeDefaultPolicy(core::Method::kAvgWave);
+    const ReducedTrace reduced =
+        core::reduceTrace(segmentTrace(trace), trace.names(), *policy).reduced;
+    core::MergeOptions mo;
+    mo.config = core::ReductionConfig::defaults(core::Method::kAvgWave);
+    mo.config.numThreads = 2;
+    mo.shardRanks = 8;
+    const core::MergeResult merged = core::mergeAcrossRanks(reduced, mo);
+    const auto bytes = serializeMergedTrace(merged.merged);
+    const std::uint64_t hash = util::fnv1a64(bytes);
+    EXPECT_EQ(merged.merged.sharedStore.size(), row.sharedReps);
+    EXPECT_EQ(bytes.size(), row.bytes);
+    EXPECT_EQ(hash, row.fnv1a);
+    if (merged.merged.sharedStore.size() != row.sharedReps ||
+        bytes.size() != row.bytes || hash != row.fnv1a) {
+      char line[256];
+      std::snprintf(line, sizeof line, "{\"%s\", %zu, %zu, 0x%016llxull},",
+                    row.name, merged.merged.sharedStore.size(), bytes.size(),
+                    static_cast<unsigned long long>(hash));
+      ADD_FAILURE() << "merge pipeline output drifted; expected row:\n      " << line;
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/cross_rank.hpp"
 #include "core/reconstruct.hpp"
 #include "core/reduction_session.hpp"
 #include "eval/workloads.hpp"
@@ -101,26 +102,31 @@ TEST(TraceFile, DetectsAllFormats) {
   const std::string full = tmpPath("detect.trf");
   const std::string text = tmpPath("detect.txt");
   const std::string reduced = tmpPath("detect.trr");
+  const std::string merged = tmpPath("detect.trm");
   writeTraceFile(full, trace);
   writeTraceFile(text, trace, TraceFileFormat::kText);
   const auto result = core::reduceTrace(segmentTrace(trace), trace.names(),
                                         core::ReductionConfig::defaults(core::Method::kRelDiff));
   writeFile(reduced, serializeReducedTrace(result.reduced));
+  writeFile(merged, serializeMergedTrace(
+                        core::mergeAcrossRanks(result.reduced, core::MergeOptions{}).merged));
 
   EXPECT_EQ(detectTraceFile(full), TraceFileFormat::kFullBinary);
   EXPECT_EQ(detectTraceFile(text), TraceFileFormat::kText);
   EXPECT_EQ(detectTraceFile(reduced), TraceFileFormat::kReducedBinary);
+  EXPECT_EQ(detectTraceFile(merged), TraceFileFormat::kMergedBinary);
 
   const std::string garbage = tmpPath("detect.bin");
   writeFile(garbage, {0xde, 0xad, 0xbe, 0xef, 0x00});
   EXPECT_THROW(detectTraceFile(garbage), std::runtime_error);
   EXPECT_THROW(detectTraceFile(tmpPath("does_not_exist.trf")), std::runtime_error);
 
-  // The streaming reader handles FULL traces; reduced files are rejected at
-  // open with a pointer at the right API.
+  // The streaming reader handles FULL traces; reduced and merged files are
+  // rejected at open with a pointer at the right API.
   EXPECT_THROW(TraceFileReader{reduced}, std::runtime_error);
+  EXPECT_THROW(TraceFileReader{merged}, std::runtime_error);
 
-  for (const auto& p : {full, text, reduced, garbage}) std::remove(p.c_str());
+  for (const auto& p : {full, text, reduced, merged, garbage}) std::remove(p.c_str());
 }
 
 TEST(TraceFile, TruncatedBinaryThrows) {

@@ -48,6 +48,30 @@ int runInfo(const CliArgs& args) {
     return 0;
   }
 
+  if (format == TraceFileFormat::kMergedBinary) {
+    const MergedReducedTrace merged = deserializeMergedTrace(readFile(input));
+    std::size_t execs = merged.totalExecs();
+    if (json) {
+      std::printf(
+          "{\"file\":\"%s\",\"format\":\"merged\",\"bytes\":%zu,\"ranks\":%zu,"
+          "\"sharedSegments\":%zu,\"segmentExecs\":%zu,\"names\":%zu}\n",
+          jsonEscape(input).c_str(), bytes, merged.rankIds.size(),
+          merged.sharedStore.size(), execs, merged.names.size());
+      return 0;
+    }
+    TextTable t;
+    t.header({"property", "value"});
+    t.row({"file", input});
+    t.row({"format", formatName(format)});
+    t.row({"size", fmtBytes(bytes)});
+    t.row({"ranks", std::to_string(merged.rankIds.size())});
+    t.row({"shared segments", std::to_string(merged.sharedStore.size())});
+    t.row({"segment execs", std::to_string(execs)});
+    t.row({"names", std::to_string(merged.names.size())});
+    std::printf("%s", t.str().c_str());
+    return 0;
+  }
+
   // Full trace (binary or text): single streaming pass, bounded memory.
   TraceFileReader reader(input);
   std::size_t records = 0, segments = 0, events = 0;

@@ -6,6 +6,7 @@
 // byte-identical output files (tested).
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "commands.hpp"
 
@@ -47,6 +48,13 @@ int runRemoteReduce(const CliArgs& args, const std::string& input,
       throw UsageError("--" + std::string(flag) +
                        " does not apply with --remote (the daemon owns the "
                        "streaming and the thread pool)");
+  for (const char* flag : {"merge", "merge-config", "merge-shard", "merge-out"})
+    if (args.has(flag))
+      throw UsageError("--" + std::string(flag) +
+                       " does not apply with --remote: the serve protocol has no "
+                       "merged-trace frame (docs/SERVE.md), so the merge stage runs "
+                       "only where the per-rank reduction lives. Reduce with --merge "
+                       "locally instead.");
   const std::string addr = args.get("remote");
   const int retryMs = static_cast<int>(args.getInt("connect-timeout-ms", 5000));
   const std::vector<std::uint8_t> bytes = readFile(input);
@@ -93,7 +101,27 @@ int runReduce(const CliArgs& args) {
   const bool stats = args.getBool("stats");
   const std::string out = args.get("out");
 
+  const bool merge = args.getBool("merge");
+  for (const char* flag : {"merge-config", "merge-shard", "merge-out"})
+    if (!merge && args.has(flag))
+      throw UsageError("--" + std::string(flag) + " requires --merge");
+  core::MergeOptions mergeOptions;
+  if (merge) {
+    try {
+      mergeOptions.config = args.has("merge-config")
+                                ? core::ReductionConfig::fromName(args.get("merge-config"))
+                                : config;
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    mergeOptions.config.numThreads = config.numThreads;  // --threads drives both stages
+    const long long shard = args.getInt("merge-shard", 64);
+    if (shard < 1) throw UsageError("--merge-shard must be >= 1");
+    mergeOptions.shardRanks = static_cast<std::size_t>(shard);
+  }
+
   core::ReductionResult result;
+  std::optional<core::MergeResult> mergeResult;
   std::size_t records = 0;
   std::size_t fullBytes = 0;  // serialized TRF1 bytes; 0 = unknown
   TraceFileReader reader(input);
@@ -101,6 +129,7 @@ int runReduce(const CliArgs& args) {
   const auto reduceStart = std::chrono::steady_clock::now();
   if (streaming) {
     core::ReductionSession session(reader.names(), config);
+    if (merge) session.setMergeOptions(mergeOptions);
     if (progress) session.onProgress(progressPrinter());
     reader.streamRecords(
         [&](Rank rank, const RawRecord& rec) {
@@ -111,6 +140,7 @@ int runReduce(const CliArgs& args) {
         [&](Rank rank) { session.ensureRank(rank); });
     records = session.recordsFed();
     result = session.finish();
+    mergeResult = session.takeMergeResult();
     // A binary input file IS the serialized full trace; for text input the
     // binary size would require materializing the trace, which streaming
     // mode exists to avoid.
@@ -119,8 +149,10 @@ int runReduce(const CliArgs& args) {
     const Trace trace = reader.readAll();
     records = trace.totalRecords();
     core::ReductionSession session(trace.names(), config);
+    if (merge) session.setMergeOptions(mergeOptions);
     if (progress) session.onProgress(progressPrinter());
     result = session.reduce(segmentTrace(trace));
+    mergeResult = session.takeMergeResult();
     fullBytes = fullTraceSize(trace);
   }
   const double reduceMs = std::chrono::duration<double, std::milli>(
@@ -140,6 +172,15 @@ int runReduce(const CliArgs& args) {
     const core::ReportRows counterRows = core::matchCounterRows(result.counters);
     rows.insert(rows.end(), counterRows.begin(), counterRows.end());
   }
+  if (mergeResult) {
+    const core::ReportRows mergeRows = core::mergeReportRows(mergeOptions, *mergeResult);
+    rows.insert(rows.end(), mergeRows.begin(), mergeRows.end());
+    if (stats) {
+      const core::ReportRows mergeCounters =
+          core::matchCounterRows(mergeResult->stats.counters, "merge ");
+      rows.insert(rows.end(), mergeCounters.begin(), mergeCounters.end());
+    }
+  }
   TextTable t;
   t.header({"criterion", "value"});
   for (const auto& [key, value] : rows) t.row({key, value});
@@ -148,6 +189,11 @@ int runReduce(const CliArgs& args) {
   if (!out.empty()) {
     writeFile(out, serializeReducedTrace(result.reduced));
     std::printf("wrote %s\n", out.c_str());
+  }
+  const std::string mergeOut = args.get("merge-out");
+  if (!mergeOut.empty() && mergeResult) {
+    writeFile(mergeOut, serializeMergedTrace(mergeResult->merged));
+    std::printf("wrote %s\n", mergeOut.c_str());
   }
   return 0;
 }
@@ -172,6 +218,17 @@ CliCommand makeReduceCommand() {
        "with --remote: keep retrying the connect this long, for daemons still "
        "starting up (default 5000)"},
       {"threads", "<n>", "reduction worker threads; 0 = hardware concurrency (default 1)"},
+      {"merge", "",
+       "fold the per-rank reduction into one application-wide trace (hierarchical "
+       "cross-rank merge; bit-identical to the serial pass for any --threads / "
+       "--merge-shard)"},
+      {"merge-config", "<m[@t]>",
+       "similarity method and threshold for the merge stage (default: same as "
+       "--config)"},
+      {"merge-shard", "<n>",
+       "ranks buffered per merge tree shard (default 64; affects memory and wall "
+       "clock, never the output)"},
+      {"merge-out", "<file>", "write the merged trace (TRM1) here"},
       {"progress", "", "report per-rank progress on stderr"},
       {"stats", "",
        "append matching-cost rows (wall ms, reps scanned/visited, pre-filter "
