@@ -1,0 +1,24 @@
+#include "fuzz/fuzz_targets.hpp"
+
+#include <cstring>
+
+namespace tracered::fuzz {
+
+const std::vector<TargetInfo>& allTargets() {
+  static const std::vector<TargetInfo> targets = {
+      {"trace_file", &runTraceFile},
+      {"trm1", &runTrm1},
+      {"text", &runText},
+      {"serve", &runServe},
+      {"reduction_config", &runReductionConfig},
+  };
+  return targets;
+}
+
+TargetFn targetByName(const char* name) {
+  for (const TargetInfo& t : allTargets())
+    if (std::strcmp(t.name, name) == 0) return t.fn;
+  return nullptr;
+}
+
+}  // namespace tracered::fuzz

@@ -1,0 +1,23 @@
+// libFuzzer entry point, compiled once per harness with
+// -DTRACERED_FUZZ_TARGET=<name> (CMakeLists "fuzz" section). Clang-only:
+// linked with -fsanitize=fuzzer.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/fuzz_targets.hpp"
+
+#define TRACERED_STR2(x) #x
+#define TRACERED_STR(x) TRACERED_STR2(x)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const tracered::fuzz::TargetFn fn = [] {
+    const tracered::fuzz::TargetFn f =
+        tracered::fuzz::targetByName(TRACERED_STR(TRACERED_FUZZ_TARGET));
+    if (f == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s\n", TRACERED_STR(TRACERED_FUZZ_TARGET));
+      std::abort();
+    }
+    return f;
+  }();
+  return fn(data, size);
+}

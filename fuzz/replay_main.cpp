@@ -1,0 +1,97 @@
+// Deterministic corpus replay driver — the compiler-agnostic leg of the fuzz
+// layer (no libFuzzer involved). Registered as the fuzz_corpus_replay ctest
+// over fuzz/corpus/regressions/, so every input that ever crashed a harness
+// stays a permanent regression test even in plain gcc builds.
+//
+//   fuzz_replay <corpus-root>              replay <root>/<target>/* for every
+//                                          registered target (sorted order)
+//   fuzz_replay <corpus-root> <target>     one target's directory only
+//   fuzz_replay --one <target> <file>...   replay specific files (the local
+//                                          repro loop for a CI crash artifact)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_targets.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> readWhole(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "fuzz_replay: cannot read %s\n", p.string().c_str());
+    std::exit(2);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+void replayFile(const tracered::fuzz::TargetInfo& target,
+                const std::filesystem::path& p) {
+  // Announce before running so a crash names its input in the output.
+  std::printf("  %s: %s\n", target.name, p.filename().string().c_str());
+  std::fflush(stdout);
+  const std::vector<std::uint8_t> bytes = readWhole(p);
+  target.fn(bytes.data(), bytes.size());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_replay <corpus-root> [target]\n"
+               "       fuzz_replay --one <target> <file>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using tracered::fuzz::allTargets;
+  using tracered::fuzz::TargetInfo;
+
+  if (argc >= 3 && std::strcmp(argv[1], "--one") == 0) {
+    if (argc < 4) return usage();
+    const tracered::fuzz::TargetFn fn = tracered::fuzz::targetByName(argv[2]);
+    if (fn == nullptr) {
+      std::fprintf(stderr, "fuzz_replay: unknown target '%s'\n", argv[2]);
+      return 2;
+    }
+    const TargetInfo target{argv[2], fn};
+    for (int i = 3; i < argc; ++i) replayFile(target, argv[i]);
+    std::printf("replayed %d input(s) through %s: clean\n", argc - 3, argv[2]);
+    return 0;
+  }
+
+  if (argc != 2 && argc != 3) return usage();
+  const fs::path root = argv[1];
+  const char* only = argc == 3 ? argv[2] : nullptr;
+  if (only != nullptr && tracered::fuzz::targetByName(only) == nullptr) {
+    std::fprintf(stderr, "fuzz_replay: unknown target '%s'\n", only);
+    return 2;
+  }
+
+  std::size_t total = 0;
+  for (const TargetInfo& target : allTargets()) {
+    if (only != nullptr && std::strcmp(target.name, only) != 0) continue;
+    const fs::path dir = root / target.name;
+    std::vector<fs::path> files;
+    if (fs::is_directory(dir))
+      for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    std::printf("%s: %zu input(s)\n", target.name, files.size());
+    for (const fs::path& p : files) replayFile(target, p);
+    total += files.size();
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "fuzz_replay: no corpus inputs under %s\n",
+                 root.string().c_str());
+    return 1;
+  }
+  std::printf("replayed %zu input(s): clean\n", total);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/reduction_config.hpp"
+#include "fuzz/fuzz_targets.hpp"
+
+namespace tracered::fuzz {
+
+int runReductionConfig(const std::uint8_t* data, std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  core::ReductionConfig config;
+  try {
+    config = core::ReductionConfig::fromName(spec);
+  } catch (const std::invalid_argument&) {  // documented rejection
+    return 0;
+  } catch (const std::runtime_error&) {
+    return 0;
+  }
+  // Accepted spelling => toString must round-trip losslessly (the sweeps
+  // serialize configs through this pair).
+  const core::ReductionConfig back = core::ReductionConfig::fromName(config.toString());
+  if (back.method != config.method || back.threshold != config.threshold) {
+    std::fprintf(stderr, "fuzz_reduction_config: fromName/toString round trip broke on '%s'\n",
+                 config.toString().c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+}  // namespace tracered::fuzz

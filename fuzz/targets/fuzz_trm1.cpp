@@ -1,0 +1,55 @@
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "fuzz/fuzz_targets.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracered::fuzz {
+
+int runTrm1(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+
+  // TRM1: the cross-rank merged format `tracered info` auto-detects.
+  std::optional<MergedReducedTrace> merged;
+  try {
+    merged = deserializeMergedTrace(bytes);
+  } catch (const std::runtime_error&) {
+  } catch (const std::logic_error&) {
+  }
+  if (merged) {
+    // Accepted input => the writer must produce a stable, readable encoding:
+    // serialize(deserialize(serialize(x))) must be byte-identical to
+    // serialize(x). (The input itself may use non-minimal varints, so only
+    // the second round is required to be a fixpoint.) A throw or mismatch
+    // here escapes as a finding.
+    const std::vector<std::uint8_t> once = serializeMergedTrace(*merged);
+    const MergedReducedTrace again = deserializeMergedTrace(once);
+    if (serializeMergedTrace(again) != once) {
+      std::fprintf(stderr, "fuzz_trm1: TRM1 serialize/deserialize fixpoint violated\n");
+      std::abort();
+    }
+  }
+
+  // TRR1 shares the segment/exec encoding — same adversarial byte stream,
+  // same fixpoint property.
+  std::optional<ReducedTrace> reduced;
+  try {
+    reduced = deserializeReducedTrace(bytes);
+  } catch (const std::runtime_error&) {
+  } catch (const std::logic_error&) {
+  }
+  if (reduced) {
+    const std::vector<std::uint8_t> once = serializeReducedTrace(*reduced);
+    const ReducedTrace again = deserializeReducedTrace(once);
+    if (serializeReducedTrace(again) != once) {
+      std::fprintf(stderr, "fuzz_trm1: TRR1 serialize/deserialize fixpoint violated\n");
+      std::abort();
+    }
+  }
+  return 0;
+}
+
+}  // namespace tracered::fuzz

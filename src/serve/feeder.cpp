@@ -71,6 +71,10 @@ void TraceStreamFeeder::detect(bool atEof) {
       throw std::runtime_error(
           "serve: the stream is already a reduced trace (TRR1) where a full trace "
           "is expected");
+    if (m == codec::kMergedMagic)
+      throw std::runtime_error(
+          "serve: the stream is a cross-rank merged trace (TRM1) where a full trace "
+          "is expected");
   }
   // Not (yet) a binary magic: accept as text iff the first complete non-blank
   // line is a v1 directive or comment, like detectTraceFile.

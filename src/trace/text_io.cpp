@@ -18,6 +18,13 @@ bool msgIsEmpty(const MsgInfo& m) { return m == MsgInfo{}; }
 }  // namespace
 
 void writeTextHeader(std::ostream& os, const StringTable& names, int numRanks) {
+  // Enforced at write time too: emitting a header no reader accepts would
+  // just defer the failure to the consumer.
+  if (numRanks > kMaxTextDeclaredRanks)
+    throw std::runtime_error("text trace: " + std::to_string(numRanks) +
+                             " ranks exceeds the text format's maximum of " +
+                             std::to_string(kMaxTextDeclaredRanks) +
+                             "; use the binary format (TRF1) for traces this wide");
   os << "# tracered text trace v1\n";
   os << "ranks " << numRanks << '\n';
   for (NameId id = 0; id < names.size(); ++id)
@@ -80,6 +87,11 @@ bool TextTraceParser::feedLine(const std::string& line) {
     // parsing. The reference writer emits exactly one (FORMATS.md §2).
     if (declaredRanks_ >= 0) fail(lineNo_, "duplicate ranks directive");
     if (!(ls >> declaredRanks_) || declaredRanks_ < 0) fail(lineNo_, "bad rank count");
+    if (declaredRanks_ > kMaxTextDeclaredRanks)
+      fail(lineNo_, "declared rank count " + std::to_string(declaredRanks_) +
+                        " exceeds the text format's maximum of " +
+                        std::to_string(kMaxTextDeclaredRanks) +
+                        " (readers allocate per declared rank)");
     return false;
   }
   if (tok == "string") {

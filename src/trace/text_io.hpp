@@ -32,6 +32,15 @@
 
 namespace tracered {
 
+/// Upper bound on the text format's `ranks` directive. Readers materialize
+/// per-rank state for every DECLARED rank (idle ranks included — that is the
+/// format's idle-rank announcement guarantee), so without a cap a 20-byte
+/// hostile header like `ranks 2000000000` would cost count-proportional
+/// memory in every consumer, including the serve daemon's bounded-memory
+/// feeder. 2^20 ranks is far beyond any human-oriented text trace; the
+/// binary formats pay per rank *section* and need no cap.
+inline constexpr int kMaxTextDeclaredRanks = 1 << 20;
+
 /// Renders a trace in the text format.
 std::string traceToText(const Trace& trace);
 

@@ -9,12 +9,14 @@
 // output" a structural guarantee rather than a test-only one.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
 #include "trace/event.hpp"
 #include "trace/segment.hpp"
 #include "trace/string_table.hpp"
+#include "util/time_types.hpp"
 
 namespace tracered::codec {
 
@@ -22,6 +24,33 @@ inline constexpr std::uint32_t kFullMagic = 0x31465254;     // "TRF1"
 inline constexpr std::uint32_t kReducedMagic = 0x31525254;  // "TRR1"
 inline constexpr std::uint32_t kMergedMagic = 0x314d5254;   // "TRM1"
 inline constexpr std::uint8_t kVersion = 1;
+
+/// Pre-allocation guard for decoded element counts: a hostile length prefix
+/// must cost bytes-proportional memory, not count-proportional. Counts below
+/// the cap are trusted (one reserve, no growth); above it the vector grows
+/// organically — each element still has to be decoded from real input bytes,
+/// so a declared-but-absent 2^60 never allocates.
+inline std::size_t reserveHint(std::uint64_t declared) {
+  constexpr std::uint64_t kMaxTrustedCount = 1u << 16;
+  return static_cast<std::size_t>(declared < kMaxTrustedCount ? declared
+                                                              : kMaxTrustedCount);
+}
+
+/// Delta decoding over adversarial input can legally produce any i64 pair, so
+/// the reconstruction arithmetic must not rely on the sum/difference staying
+/// in range: signed overflow is UB (and aborts under -fsanitize=undefined).
+/// Two's-complement wrapping via the unsigned domain is bit-identical to
+/// plain +/- whenever the values are in range — i.e. for every trace our
+/// writers produce — so golden corpora are unaffected.
+inline TimeUs wrapAdd(TimeUs a, TimeUs b) {
+  return static_cast<TimeUs>(static_cast<std::uint64_t>(a) +
+                             static_cast<std::uint64_t>(b));
+}
+
+inline TimeUs wrapSub(TimeUs a, TimeUs b) {
+  return static_cast<TimeUs>(static_cast<std::uint64_t>(a) -
+                             static_cast<std::uint64_t>(b));
+}
 
 /// Decodes and validates the <magic, version> preamble of a full trace —
 /// the one definition both the whole-buffer and streaming readers call, so
@@ -82,7 +111,7 @@ template <class W>
 void writeRecord(W& w, const RawRecord& rec, TimeUs& prev) {
   w.u8(static_cast<std::uint8_t>(rec.kind));
   w.uvarint(rec.name);
-  w.svarint(rec.time - prev);
+  w.svarint(wrapSub(rec.time, prev));
   prev = rec.time;
   if (rec.kind == RecordKind::kEnter) {
     w.u8(static_cast<std::uint8_t>(rec.op));
@@ -98,7 +127,7 @@ RawRecord readRecord(R& r, TimeUs& prev) {
     throw std::runtime_error("trace_io: bad record kind");
   rec.kind = static_cast<RecordKind>(kind);
   rec.name = static_cast<NameId>(r.uvarint());
-  rec.time = prev + r.svarint();
+  rec.time = wrapAdd(prev, r.svarint());
   prev = rec.time;
   if (rec.kind == RecordKind::kEnter) {
     const std::uint8_t op = r.u8();
@@ -121,8 +150,8 @@ void writeSegment(W& w, const Segment& s) {
   for (const EventInterval& e : s.events) {
     w.uvarint(e.name);
     w.u8(static_cast<std::uint8_t>(e.op));
-    w.svarint(e.start - prev);
-    w.svarint(e.end - e.start);
+    w.svarint(wrapSub(e.start, prev));
+    w.svarint(wrapSub(e.end, e.start));
     prev = e.end;
     writeMsgInfo(w, e.msg);
   }
@@ -135,7 +164,7 @@ Segment readSegment(R& r, Rank rank) {
   s.context = static_cast<NameId>(r.uvarint());
   s.end = r.svarint();
   const std::uint64_t n = r.uvarint();
-  s.events.reserve(n);
+  s.events.reserve(reserveHint(n));
   TimeUs prev = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
     EventInterval e;
@@ -144,8 +173,8 @@ Segment readSegment(R& r, Rank rank) {
     if (op > static_cast<std::uint8_t>(OpKind::kOther))
       throw std::runtime_error("trace_io: bad op kind");
     e.op = static_cast<OpKind>(op);
-    e.start = prev + r.svarint();
-    e.end = e.start + r.svarint();
+    e.start = wrapAdd(prev, r.svarint());
+    e.end = wrapAdd(e.start, r.svarint());
     prev = e.end;
     e.msg = readMsgInfo(r);
     s.events.push_back(e);

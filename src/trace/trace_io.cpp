@@ -35,7 +35,7 @@ Trace deserializeFullTrace(const std::vector<std::uint8_t>& bytes) {
     RankTrace& rt = trace.addRank();
     rt.rank = static_cast<Rank>(r.uvarint());
     const std::uint64_t nRecs = r.uvarint();
-    rt.records.reserve(nRecs);
+    rt.records.reserve(codec::reserveHint(nRecs));
     TimeUs prev = 0;
     for (std::uint64_t j = 0; j < nRecs; ++j) rt.records.push_back(codec::readRecord(r, prev));
   }
@@ -57,7 +57,7 @@ std::vector<std::uint8_t> serializeReducedTrace(const ReducedTrace& reduced) {
     TimeUs prev = 0;
     for (const SegmentExec& e : rr.execs) {
       w.uvarint(e.id);
-      w.svarint(e.start - prev);
+      w.svarint(codec::wrapSub(e.start, prev));
       prev = e.start;
     }
   }
@@ -76,16 +76,16 @@ ReducedTrace deserializeReducedTrace(const std::vector<std::uint8_t>& bytes) {
     RankReduced rr;
     rr.rank = static_cast<Rank>(r.uvarint());
     const std::uint64_t nStored = r.uvarint();
-    rr.stored.reserve(nStored);
+    rr.stored.reserve(codec::reserveHint(nStored));
     for (std::uint64_t j = 0; j < nStored; ++j)
       rr.stored.push_back(codec::readSegment(r, rr.rank));
     const std::uint64_t nExecs = r.uvarint();
-    rr.execs.reserve(nExecs);
+    rr.execs.reserve(codec::reserveHint(nExecs));
     TimeUs prev = 0;
     for (std::uint64_t j = 0; j < nExecs; ++j) {
       SegmentExec e;
       e.id = static_cast<SegmentId>(r.uvarint());
-      e.start = prev + r.svarint();
+      e.start = codec::wrapAdd(prev, r.svarint());
       prev = e.start;
       rr.execs.push_back(e);
     }
@@ -115,7 +115,7 @@ std::vector<std::uint8_t> serializeMergedTrace(const MergedReducedTrace& merged)
     TimeUs prev = 0;
     for (const SegmentExec& e : execs) {
       w.uvarint(e.id);
-      w.svarint(e.start - prev);
+      w.svarint(codec::wrapSub(e.start, prev));
       prev = e.start;
     }
   }
@@ -130,24 +130,24 @@ MergedReducedTrace deserializeMergedTrace(const std::vector<std::uint8_t>& bytes
   MergedReducedTrace out;
   out.names = codec::readStringTable(r);
   const std::uint64_t nStore = r.uvarint();
-  out.sharedStore.reserve(nStore);
+  out.sharedStore.reserve(codec::reserveHint(nStore));
   for (std::uint64_t i = 0; i < nStore; ++i)
     out.sharedStore.push_back(codec::readSegment(r, /*rank=*/0));
   const std::uint64_t nRanks = r.uvarint();
-  out.rankIds.reserve(nRanks);
-  out.execs.reserve(nRanks);
+  out.rankIds.reserve(codec::reserveHint(nRanks));
+  out.execs.reserve(codec::reserveHint(nRanks));
   for (std::uint64_t i = 0; i < nRanks; ++i) {
     out.rankIds.push_back(static_cast<Rank>(r.uvarint()));
     const std::uint64_t nExecs = r.uvarint();
     std::vector<SegmentExec> execs;
-    execs.reserve(nExecs);
+    execs.reserve(codec::reserveHint(nExecs));
     TimeUs prev = 0;
     for (std::uint64_t j = 0; j < nExecs; ++j) {
       SegmentExec e;
       e.id = static_cast<SegmentId>(r.uvarint());
       if (e.id >= out.sharedStore.size())
         throw std::runtime_error("trace_io: merged exec id out of range");
-      e.start = prev + r.svarint();
+      e.start = codec::wrapAdd(prev, r.svarint());
       prev = e.start;
       execs.push_back(e);
     }

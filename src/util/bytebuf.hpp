@@ -97,13 +97,17 @@ class ByteDecoderBase {
       const std::uint8_t b = self().takeByte();
       // The 10th byte may only carry bit 63: anything above is >= 64
       // significant bits, which FORMATS.md declares malformed — reject
-      // instead of silently truncating the shifted-out payload.
+      // instead of silently truncating the shifted-out payload. This is a
+      // std::runtime_error, NOT std::out_of_range: out_of_range means
+      // "truncated, more bytes could fix it" (incremental parsers like the
+      // serve feeder wait on it), while an overflowing varint can never
+      // become valid no matter how many bytes follow.
       if (shift == 63 && (b & 0x7e) != 0)
-        throw std::out_of_range("uvarint overflows 64 bits");
+        throw std::runtime_error("uvarint overflows 64 bits");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) break;
       shift += 7;
-      if (shift >= 64) throw std::out_of_range("uvarint too long");
+      if (shift >= 64) throw std::runtime_error("uvarint too long");
     }
     return v;
   }

@@ -25,6 +25,22 @@
 #include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
 
+// ASan's allocator (shadow pages, redzones, quarantine) both inflates and
+// flattens ru_maxrss — the sharded and monolithic runs measure identically —
+// so the differential-RSS assertions below carry no signal under it. The
+// merges themselves still run (a 10k-rank pass IS AddressSanitizer
+// coverage); only the RSS comparison is skipped.
+#if defined(__SANITIZE_ADDRESS__)
+#define TRACERED_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TRACERED_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef TRACERED_ASAN_ACTIVE
+#define TRACERED_ASAN_ACTIVE 0
+#endif
+
 namespace tracered::core {
 namespace {
 
@@ -150,6 +166,10 @@ TEST(ScaleMerge, TenThousandSparseRanksPeakMemoryStaysShardBounded) {
     const MergeResult m = mergeRelabeledRanks(targetRanks, 2, targetRanks);
     if (m.merged.execs.size() != targetRanks) _exit(2);
   });
+
+  if (TRACERED_ASAN_ACTIVE)
+    GTEST_SKIP() << "peak-RSS differential carries no signal under ASan "
+                    "(the merges above still ran; see the comment at the top)";
 
   ASSERT_GE(shardedRss, floorRss);
   ASSERT_GE(monolithicRss, shardedRss);

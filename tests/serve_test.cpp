@@ -20,11 +20,14 @@
 
 #include "tracered.hpp"
 
+#include "core/cross_rank.hpp"
 #include "eval/workloads.hpp"
 #include "serve/client.hpp"
 #include "serve/feeder.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "trace/trace_codec.hpp"
+#include "util/bytebuf.hpp"
 #include "util/socket.hpp"
 
 namespace tracered::serve {
@@ -43,6 +46,22 @@ std::vector<std::uint8_t> offlineReduceBytes(const Trace& trace,
   const core::ReductionConfig config = core::ReductionConfig::fromName(spec);
   core::ReductionSession session(trace.names(), config);
   return serializeReducedTrace(session.reduce(segmentTrace(trace)).reduced);
+}
+
+/// The exception message of `fn()`; fails the test if nothing is thrown.
+template <class Fn>
+std::string thrownMessage(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an exception";
+  return {};
+}
+
+void expectMessageContains(const std::string& msg, const std::string& want) {
+  EXPECT_NE(msg.find(want), std::string::npos) << "message was: \"" << msg << '"';
 }
 
 std::vector<std::uint8_t> feedInChunks(TraceStreamFeeder& feeder,
@@ -118,6 +137,50 @@ TEST(Feeder, GarbageStreamIsRejected) {
       std::runtime_error);
 }
 
+TEST(Feeder, MergedTraceInputIsRejectedWithPointedMessage) {
+  // A TRM1 stream is a *result* of cross-rank merging, not something the
+  // daemon can reduce again: the rejection names the format it saw.
+  const Trace trace = smallTrace();
+  core::ReductionSession session(trace.names(),
+                                 core::ReductionConfig::fromName("relDiff"));
+  const auto reduced = session.reduce(segmentTrace(trace)).reduced;
+  const std::vector<std::uint8_t> trm =
+      serializeMergedTrace(core::mergeAcrossRanks(reduced, core::MergeOptions{}).merged);
+
+  TraceStreamFeeder feeder(core::ReductionConfig{});
+  expectMessageContains(thrownMessage([&] { feeder.push(trm.data(), trm.size()); }),
+                        "cross-rank merged trace (TRM1)");
+}
+
+TEST(Feeder, UvarintOverflowIsRejectedImmediately) {
+  // Regression for the varint exception-type fix: an overflowing varint
+  // used to throw std::out_of_range, which the feeder reads as "incomplete
+  // — wait for more bytes", so the stream stalled until the parse window
+  // filled and failed with a misleading window-size error. It is malformed,
+  // and must fail on the push that delivers it, naming the real problem.
+  ByteWriter w;
+  w.u32(codec::kFullMagic);
+  w.u8(codec::kVersion);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.insert(bytes.end(), 10, 0xff);  // string-table count: overlong varint
+
+  TraceStreamFeeder feeder(core::ReductionConfig{});
+  expectMessageContains(thrownMessage([&] { feeder.push(bytes.data(), bytes.size()); }),
+                        "uvarint overflows 64 bits");
+}
+
+TEST(Feeder, TextHugeDeclaredRanksIsRejected) {
+  // The text format's declared-ranks cap guards the serve daemon too: a
+  // 20-byte hostile header must not cost count-proportional memory.
+  const std::string text = "# tracered text trace v1\nranks 2000000000\n";
+  TraceStreamFeeder feeder(core::ReductionConfig{});
+  expectMessageContains(
+      thrownMessage([&] {
+        feeder.push(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+      }),
+      "exceeds the text format's maximum");
+}
+
 // -------------------------------------------------------------- protocol --
 
 TEST(Protocol, FrameRoundTripAndPartialExtraction) {
@@ -144,6 +207,22 @@ TEST(Protocol, MalformedFrameHeadersThrow) {
   EXPECT_THROW(tryExtractFrame(zeroLen, sizeof zeroLen, consumed), std::runtime_error);
   const std::uint8_t huge[5] = {0xff, 0xff, 0xff, 0xff, 0x02};
   EXPECT_THROW(tryExtractFrame(huge, sizeof huge, consumed), std::runtime_error);
+}
+
+TEST(Protocol, FrameTypeConfusionNamesThePayload) {
+  // A WELCOME body handed to the HELLO decoder (the daemon's first-frame
+  // confusion case) fails on the magic, not by misreading fields as magic.
+  WelcomePayload welcome{};
+  welcome.windowBytes = kDefaultWindowBytes;
+  expectMessageContains(thrownMessage([&] { decodeHello(encodeWelcome(welcome)); }),
+                        "HELLO missing the TRSV magic");
+
+  // A HELLO body handed to the ACK decoder: ACK is exactly eight bytes, so
+  // the trailing config spelling is rejected rather than silently dropped.
+  HelloPayload hello;
+  hello.config = "avgWave@0.2";
+  expectMessageContains(thrownMessage([&] { decodeAck(encodeHello(hello)); }),
+                        "trailing bytes in ACK");
 }
 
 TEST(Protocol, HelloAndStatsRoundTrip) {

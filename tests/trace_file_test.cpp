@@ -13,6 +13,7 @@
 #include "eval/workloads.hpp"
 #include "trace/segmenter.hpp"
 #include "trace/text_io.hpp"
+#include "trace/trace_codec.hpp"
 #include "trace/trace_file.hpp"
 #include "trace/trace_io.hpp"
 #include "util/bytebuf.hpp"
@@ -21,6 +22,22 @@ namespace tracered {
 namespace {
 
 std::string tmpPath(const std::string& name) { return ::testing::TempDir() + name; }
+
+/// The exception message of `fn()`; fails the test if nothing is thrown.
+template <class Fn>
+std::string thrownMessage(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an exception";
+  return {};
+}
+
+void expectMessageContains(const std::string& msg, const std::string& want) {
+  EXPECT_NE(msg.find(want), std::string::npos) << "message was: \"" << msg << '"';
+}
 
 void expectSameTrace(const Trace& a, const Trace& b) {
   ASSERT_EQ(a.numRanks(), b.numRanks());
@@ -138,6 +155,74 @@ TEST(TraceFile, TruncatedBinaryThrows) {
   TraceFileReader reader(path, 256);
   EXPECT_ANY_THROW(reader.streamRecords([](Rank, const RawRecord&) {}));
   std::remove(path.c_str());
+}
+
+// The malformed-vs-truncated contract, pinned by message: std::out_of_range
+// means "ran off the end — more bytes might complete this" (the incremental
+// readers wait on it); std::runtime_error means "no suffix can make this
+// valid" (rejected the moment it is read).
+TEST(TraceFile, MalformedBinaryInputsNamePointedErrors) {
+  // A varint cut off mid-continuation is truncation.
+  const std::uint8_t cut[] = {0x80};
+  expectMessageContains(thrownMessage([&] {
+                          ByteReader r(cut, sizeof cut);
+                          r.uvarint();
+                        }),
+                        "truncated input");
+
+  // An overflowing varint can never become valid with more bytes.
+  const std::vector<std::uint8_t> overlong(10, 0xff);
+  expectMessageContains(thrownMessage([&] {
+                          ByteReader r(overlong.data(), overlong.size());
+                          r.uvarint();
+                        }),
+                        "uvarint overflows 64 bits");
+
+  // A string declaring a terabyte length with one byte behind it is rejected
+  // as truncation before any allocation happens.
+  ByteWriter w;
+  w.u32(codec::kFullMagic);
+  w.u8(codec::kVersion);
+  w.uvarint(1);            // one string...
+  w.uvarint(1ull << 40);   // ...claiming a terabyte length
+  w.u8('x');
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  EXPECT_THROW(deserializeFullTrace(bytes), std::out_of_range);
+}
+
+TEST(TraceFile, OversizedDeclaredCountsAreTruncationNotAllocation) {
+  // TRM1 declaring 2^62 shared-store segments with no bytes behind them:
+  // the reader must fail as truncation after decoding what is actually
+  // there — never std::bad_alloc from trusting the count
+  // (codec::reserveHint caps the pre-allocation).
+  ByteWriter w;
+  w.u32(codec::kMergedMagic);
+  w.u8(codec::kVersion);
+  w.uvarint(0);            // empty string table
+  w.uvarint(1ull << 62);   // hostile shared-store count
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  EXPECT_THROW(deserializeMergedTrace(bytes), std::out_of_range);
+}
+
+TEST(TraceFile, TextDeclaredRanksCapIsEnforced) {
+  // Readers materialize state per DECLARED rank, so the parser rejects a
+  // hostile count up front...
+  TextTraceParser parser;
+  EXPECT_FALSE(parser.feedLine("# tracered text trace v1"));
+  expectMessageContains(thrownMessage([&] { parser.feedLine("ranks 2000000000"); }),
+                        "exceeds the text format's maximum of 1048576");
+
+  // ...the cap itself is legal...
+  TextTraceParser atCap;
+  EXPECT_FALSE(atCap.feedLine("ranks 1048576"));
+  EXPECT_EQ(atCap.declaredRanks(), kMaxTextDeclaredRanks);
+
+  // ...and the writer refuses to emit a header no reader would accept.
+  std::ostringstream os;
+  const StringTable names;
+  expectMessageContains(
+      thrownMessage([&] { writeTextHeader(os, names, kMaxTextDeclaredRanks + 1); }),
+      "use the binary format (TRF1)");
 }
 
 TEST(TraceFile, TextStreamingMatchesTraceFromText) {
@@ -280,12 +365,20 @@ TEST(TraceFile, StreamByteReaderCrossesChunkBoundaries) {
 
   // >= 64 significant bits is malformed per FORMATS.md: a 10th byte carrying
   // more than bit 63 must be rejected, not silently truncated. Both readers.
+  // The type matters: std::runtime_error (malformed — no amount of further
+  // bytes can fix it), NOT std::out_of_range (truncated — incremental
+  // parsers wait for more input on that type).
   const std::string overflow("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f", 10);
   std::stringstream sovf(overflow);
   StreamByteReader sor(sovf);
-  EXPECT_THROW(sor.uvarint(), std::out_of_range);
+  EXPECT_THROW(sor.uvarint(), std::runtime_error);
   ByteReader bor(reinterpret_cast<const std::uint8_t*>(overflow.data()), overflow.size());
-  EXPECT_THROW(bor.uvarint(), std::out_of_range);
+  try {
+    bor.uvarint();
+    FAIL() << "overflowing uvarint must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "uvarint overflows 64 bits");
+  }
   // ...while the max encodable value still round-trips.
   std::stringstream smax(std::string(reinterpret_cast<const char*>(hw.bytes().data()),
                                      hw.size()));
