@@ -11,6 +11,7 @@ const std::vector<TargetInfo>& allTargets() {
       {"text", &runText},
       {"serve", &runServe},
       {"reduction_config", &runReductionConfig},
+      {"analyze", &runAnalyze},
   };
   return targets;
 }

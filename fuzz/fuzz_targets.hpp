@@ -58,4 +58,9 @@ int runServe(const std::uint8_t* data, std::size_t size);
 /// spellings.
 int runReductionConfig(const std::uint8_t* data, std::size_t size);
 
+/// The severity-cube path over arbitrary TRR1 bytes: deserialize ->
+/// reconstruct (expansion-bounded) -> analyze -> compareTrends/render/report
+/// rows — the `tracered analyze`/`diff` input surface.
+int runAnalyze(const std::uint8_t* data, std::size_t size);
+
 }  // namespace tracered::fuzz

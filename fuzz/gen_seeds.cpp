@@ -79,6 +79,11 @@ int main(int argc, char** argv) {
         core::mergeAcrossRanks(reduced, core::MergeOptions{config, /*shardRanks=*/4});
     writeSeed(out / "trm1", tag + "_trm1.bin", serializeMergedTrace(merge.merged));
 
+    // analyze: the severity-cube target mutates from the same TRR1 bytes
+    // (its accept set is the TRR1 deserializer's; the interesting depth is
+    // what reconstruct->analyze does after acceptance).
+    writeSeed(out / "analyze", tag + "_trr1.bin", serializeReducedTrace(reduced));
+
     // serve: a complete, well-formed client conversation (HELLO, the TRF1
     // bytes as DATA frames, END) — exactly what a connection's input ring
     // sees; the feeder leg of the harness reads the raw DATA payload too.

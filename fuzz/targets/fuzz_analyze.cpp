@@ -1,0 +1,59 @@
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/compare.hpp"
+#include "analysis/render.hpp"
+#include "analysis/report.hpp"
+#include "core/reconstruct.hpp"
+#include "fuzz/fuzz_targets.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tracered::fuzz {
+
+int runAnalyze(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+
+  // The `tracered analyze <file.trr>` surface: TRR1 bytes -> reconstruct ->
+  // severity-cube analysis -> comparison + report rendering.
+  std::optional<ReducedTrace> reduced;
+  try {
+    reduced = deserializeReducedTrace(bytes);
+  } catch (const std::runtime_error&) {
+  } catch (const std::logic_error&) {
+  }
+  if (!reduced) return 0;
+
+  // Reconstruction is multiplicative (execs x events per representative): a
+  // few hundred accepted bytes can legally demand gigabytes. That is an
+  // input-size property, not a defect; bound the expansion so the harness
+  // probes the analysis logic instead of the allocator.
+  std::size_t expandedEvents = 0;
+  for (const RankReduced& r : reduced->ranks) {
+    std::size_t maxEvents = 0;
+    for (const Segment& s : r.stored) maxEvents = std::max(maxEvents, s.events.size());
+    expandedEvents += r.execs.size() * (maxEvents + 1);
+  }
+  if (expandedEvents > (1u << 20)) return 0;
+
+  try {
+    const SegmentedTrace seg = core::reconstruct(*reduced);
+    const analysis::SeverityCube cube = analysis::analyze(seg);
+    // Every downstream consumer of a cube must be total on whatever analyze
+    // accepts: the self-comparison (rank counts agree by construction), the
+    // CUBE-style rendering, and the CLI report rows.
+    (void)analysis::compareTrends(cube, cube);
+    (void)analysis::renderCube(cube, reduced->names, 8);
+    (void)analysis::cubeReportRows(cube, reduced->names, 8);
+  } catch (const std::runtime_error&) {
+    // analyze() rejects inconsistent collective sequences.
+  } catch (const std::logic_error&) {
+    // Out-of-range rank / representative ids are documented rejections.
+  }
+  return 0;
+}
+
+}  // namespace tracered::fuzz

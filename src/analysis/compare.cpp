@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "util/stats.hpp"
 
@@ -30,7 +32,13 @@ double shapeCorrelation(const std::vector<double>& full,
                         const std::vector<double>& reduced) {
   if (coefficientOfVariation(full) <= 1e-9) return 1.0;
   if (coefficientOfVariation(reduced) <= 1e-9) return 0.0;
-  return pearson(full, reduced);
+  const double r = pearson(full, reduced);
+  // A degenerate r (NaN from pathological inputs) would compare false
+  // against every threshold and dodge the disparity checks entirely; treat
+  // it as "shape lost", and clamp rounding excursions back into [-1, 1] so
+  // threshold comparisons always see a mathematically valid correlation.
+  if (!std::isfinite(r)) return 0.0;
+  return std::clamp(r, -1.0, 1.0);
 }
 
 void worsen(Verdict& v, Verdict atLeast) {
@@ -40,16 +48,31 @@ void worsen(Verdict& v, Verdict atLeast) {
 }  // namespace
 
 const char* verdictName(Verdict v) {
+  // Covered switch with no default and no fallback value: growing Verdict
+  // without updating this mapping is a -Wswitch warning at the switch, and
+  // an out-of-range value aborts instead of reporting a phantom "unknown"
+  // verdict.
   switch (v) {
     case Verdict::kRetained: return "retained";
     case Verdict::kDegraded: return "degraded";
     case Verdict::kLost: return "lost";
   }
-  return "unknown";
+  std::abort();
+}
+
+Verdict verdictFromName(std::string_view name) {
+  for (const Verdict v : {Verdict::kRetained, Verdict::kDegraded, Verdict::kLost})
+    if (name == verdictName(v)) return v;
+  throw std::invalid_argument("unknown verdict name '" + std::string(name) + "'");
 }
 
 TrendComparison compareTrends(const SeverityCube& full, const SeverityCube& reduced,
                               const TrendCompareOptions& opts) {
+  if (full.numRanks() != reduced.numRanks())
+    throw std::invalid_argument(
+        "compareTrends: rank count mismatch (full trace has " +
+        std::to_string(full.numRanks()) + " ranks, reduced trace has " +
+        std::to_string(reduced.numRanks()) + ")");
   TrendComparison out;
 
   const CubeCell fullDom = full.dominantWait();

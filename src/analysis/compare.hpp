@@ -22,6 +22,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "analysis/severity.hpp"
 
@@ -51,6 +52,10 @@ enum class Verdict { kRetained, kDegraded, kLost };
 
 const char* verdictName(Verdict v);
 
+/// Inverse of verdictName ("retained"/"degraded"/"lost"); throws
+/// std::invalid_argument for any other spelling.
+Verdict verdictFromName(std::string_view name);
+
 /// Detailed comparison outcome.
 struct TrendComparison {
   Verdict verdict = Verdict::kRetained;
@@ -70,6 +75,10 @@ struct TrendComparison {
 };
 
 /// Compares the diagnosis of a reconstructed trace against the full trace's.
+/// The cubes must describe the same application run: throws
+/// std::invalid_argument (naming both counts) when they disagree on
+/// numRanks(), since every per-rank profile comparison assumes one rank
+/// space.
 TrendComparison compareTrends(const SeverityCube& full, const SeverityCube& reduced,
                               const TrendCompareOptions& opts = {});
 

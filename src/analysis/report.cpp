@@ -1,0 +1,113 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "analysis/render.hpp"
+#include "util/table.hpp"
+
+namespace tracered::analysis {
+
+std::vector<CubeReportRow> cubeReportRows(const SeverityCube& cube,
+                                          const StringTable& names, std::size_t topN) {
+  const std::vector<CubeCell> cells = cube.cells();
+  // Index into the deterministic cell order, so the tie-break is the cube's
+  // own (metric, callsite) order rather than unstable-sort luck.
+  std::vector<std::size_t> order(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ta = cells[a].total();
+    const double tb = cells[b].total();
+    if (ta != tb) return ta > tb;
+    return a < b;
+  });
+  if (topN != 0 && order.size() > topN) order.resize(topN);
+
+  std::vector<CubeReportRow> rows;
+  rows.reserve(order.size());
+  for (const std::size_t i : order) {
+    const CubeCell& c = cells[i];
+    CubeReportRow row;
+    row.metric = c.metric;
+    row.callsite = names.name(c.callsite);
+    row.totalUs = c.total();
+    for (const double v : c.perRank) row.maxRankUs = std::max(row.maxRankUs, v);
+    row.perRank = renderProfile(c.perRank, row.maxRankUs);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<DeltaReportRow> deltaReportRows(const SeverityCube& baseline,
+                                            const StringTable& baselineNames,
+                                            const SeverityCube& candidate,
+                                            const StringTable& candidateNames,
+                                            const RegressionOptions& opts) {
+  if (baseline.numRanks() != candidate.numRanks())
+    throw std::invalid_argument(
+        "deltaReportRows: rank count mismatch (baseline has " +
+        std::to_string(baseline.numRanks()) + " ranks, candidate has " +
+        std::to_string(candidate.numRanks()) + ")");
+
+  // Align cells by (metric, call-site name): the two runs were read from
+  // separate files, so their NameIds need not agree.
+  std::map<std::pair<Metric, std::string>, std::pair<double, double>> totals;
+  for (const CubeCell& c : baseline.cells())
+    totals[{c.metric, baselineNames.name(c.callsite)}].first = c.total();
+  for (const CubeCell& c : candidate.cells())
+    totals[{c.metric, candidateNames.name(c.callsite)}].second = c.total();
+
+  std::vector<DeltaReportRow> rows;
+  for (const auto& [key, t] : totals) {
+    const auto [baseUs, candUs] = t;
+    if (baseUs < opts.significanceFloorUs && candUs < opts.significanceFloorUs)
+      continue;
+    DeltaReportRow row;
+    row.metric = key.first;
+    row.callsite = key.second;
+    row.baselineUs = baseUs;
+    row.candidateUs = candUs;
+    row.deltaUs = candUs - baseUs;
+    row.relDelta = row.deltaUs / std::max(baseUs, opts.significanceFloorUs);
+    row.regression = isWaitMetric(row.metric) && candUs >= opts.significanceFloorUs &&
+                     candUs > baseUs * (1.0 + opts.severityTolerance);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const DeltaReportRow& a, const DeltaReportRow& b) {
+    const double da = std::fabs(a.deltaUs);
+    const double db = std::fabs(b.deltaUs);
+    if (da != db) return da > db;
+    return std::tie(a.metric, a.callsite) < std::tie(b.metric, b.callsite);
+  });
+  return rows;
+}
+
+SeverityCube remapCallsites(const SeverityCube& cube, const StringTable& from,
+                            StringTable& to) {
+  SeverityCube out(cube.numRanks());
+  for (const CubeCell& c : cube.cells()) {
+    const NameId id = to.intern(from.name(c.callsite));
+    for (std::size_t r = 0; r < c.perRank.size(); ++r)
+      if (c.perRank[r] != 0.0) out.add(c.metric, id, static_cast<Rank>(r), c.perRank[r]);
+  }
+  return out;
+}
+
+ReportRows trendReportRows(const TrendComparison& trends, const StringTable& names) {
+  const std::string callsite =
+      trends.dominantCallsite == kInvalidName ? "-" : names.name(trends.dominantCallsite);
+  ReportRows rows;
+  rows.emplace_back("trend verdict", verdictName(trends.verdict));
+  rows.emplace_back("  reason", trends.reason);
+  rows.emplace_back("  dominant diagnosis",
+                    std::string(metricName(trends.dominantMetric)) + " @ " + callsite);
+  rows.emplace_back("  severity full/reduced", fmtF(trends.fullTotal / 1e6, 3) + " s / " +
+                                                   fmtF(trends.reducedTotal / 1e6, 3) + " s");
+  rows.emplace_back("  profile correlation", fmtF(trends.correlation, 3));
+  return rows;
+}
+
+}  // namespace tracered::analysis

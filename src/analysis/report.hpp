@@ -1,0 +1,88 @@
+// Shared report rows for the severity-cube surfaces.
+//
+// `tracered analyze` and `tracered diff` render the same data three ways —
+// aligned text table, JSON object, test assertions — so, mirroring
+// core/reduction_report for the reduction surfaces, the rows are built once
+// here and every renderer works from the same structs. Everything is
+// deterministic given (cube, names, options): ordering uses total strict
+// orders, never an unstable sort on equal keys.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/compare.hpp"
+#include "analysis/severity.hpp"
+#include "trace/string_table.hpp"
+
+namespace tracered::analysis {
+
+using ReportRows = std::vector<std::pair<std::string, std::string>>;
+
+/// One severity-cube report row: a (metric, call-site) cell with its total
+/// severity and the digit-rendered per-rank profile (render.hpp's encoding,
+/// scaled against the cell's own per-rank maximum).
+struct CubeReportRow {
+  Metric metric = Metric::kExecutionTime;
+  std::string callsite;
+  double totalUs = 0.0;
+  double maxRankUs = 0.0;  ///< Per-rank maximum (the profile's scale).
+  std::string perRank;     ///< Digits 0-9 vs maxRankUs, '.' for ~zero.
+};
+
+/// The `topN` highest-severity cells of `cube` (0 = all), ordered by total
+/// descending with ties broken by the cube's (metric, callsite) cell order.
+std::vector<CubeReportRow> cubeReportRows(const SeverityCube& cube,
+                                          const StringTable& names, std::size_t topN);
+
+/// One cube-difference row between two runs of the same application: the
+/// severity delta of a (metric, call-site) cell, aligned by call-site
+/// *name* so the two runs may intern their name tables in different orders.
+struct DeltaReportRow {
+  Metric metric = Metric::kExecutionTime;
+  std::string callsite;
+  double baselineUs = 0.0;
+  double candidateUs = 0.0;
+  double deltaUs = 0.0;     ///< candidateUs - baselineUs.
+  double relDelta = 0.0;    ///< deltaUs / max(baselineUs, floor).
+  bool regression = false;  ///< Wait metric worsened beyond tolerance.
+};
+
+/// Regression thresholds for run-vs-run cube differences; `tracered diff`
+/// maps its flags onto these. The defaults reuse TrendCompareOptions'
+/// severity tolerance and significance floor so the two diff modes agree on
+/// what "significant" means.
+struct RegressionOptions {
+  double severityTolerance = 0.25;      ///< Relative worsening that flags.
+  double significanceFloorUs = 1000.0;  ///< Cells below this total in both
+                                        ///< runs are dropped from the rows.
+};
+
+/// Every (metric, call-site-name) cell that reaches the significance floor
+/// in either cube, ordered by |delta| descending (ties by metric then
+/// call-site name). A wait-metric cell counts as a regression when the
+/// candidate total exceeds both the floor and
+/// baseline * (1 + severityTolerance); execution-time cells are reported
+/// but never flagged (more computation is a workload property, not an
+/// inefficiency pattern). Throws std::invalid_argument when the cubes
+/// disagree on numRanks().
+std::vector<DeltaReportRow> deltaReportRows(const SeverityCube& baseline,
+                                            const StringTable& baselineNames,
+                                            const SeverityCube& candidate,
+                                            const StringTable& candidateNames,
+                                            const RegressionOptions& opts = {});
+
+/// Re-keys every call-site of `cube` from `from` ids to `to` ids by name,
+/// interning names `to` has not seen. Identity when the tables are equal;
+/// used before compareTrends when the two cubes come from separately read
+/// files whose tables may have interned names in different orders.
+SeverityCube remapCallsites(const SeverityCube& cube, const StringTable& from,
+                            StringTable& to);
+
+/// The (criterion, value) rows of a trend comparison, exactly as `tracered
+/// eval` and `tracered diff` print them.
+ReportRows trendReportRows(const TrendComparison& trends, const StringTable& names);
+
+}  // namespace tracered::analysis

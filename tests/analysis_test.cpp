@@ -4,6 +4,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/render.hpp"
+#include "analysis/report.hpp"
 #include "analysis/severity.hpp"
 #include "test_helpers.hpp"
 
@@ -224,6 +225,108 @@ TEST(Render, CubeRenderingMentionsTopCells) {
   const std::string s = renderCube(cube, t.names, 5);
   EXPECT_NE(s.find("LS"), std::string::npos);
   EXPECT_NE(s.find("MPI_Recv"), std::string::npos);
+}
+
+// ---- adversarial inputs: the renderers and report builders must be total
+// on anything analyze() can produce, including the degenerate cubes.
+
+TEST(Render, EmptyCubeRendersHeaderOnly) {
+  const SeverityCube empty(0);
+  StringTable names;
+  const std::string s = renderCube(empty, names, 12);
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_EQ(s.find("LS"), std::string::npos);
+  EXPECT_TRUE(renderProfile({}, 0.0).empty());
+}
+
+TEST(Render, ZeroRankCubeAndUnknownCallsiteChartRowsAreSafe) {
+  const SeverityCube empty(0);
+  StringTable names;
+  const std::string chart =
+      renderChart(empty, empty, names, {{Metric::kLateSender, "no_such_fn"}}, "x");
+  EXPECT_NE(chart.find("no_such_fn"), std::string::npos);
+}
+
+TEST(Render, AllInsignificantCellsRenderCollapsedDigits) {
+  // A zero per-rank maximum means scale <= 0: positive values render '?'
+  // (off-scale), zeros render '.'; no division happens.
+  EXPECT_EQ(renderProfile({0.0, 1.0, 0.0}, 0.0), ".?.");
+  SeverityCube cube(2);
+  cube.add(Metric::kLateSender, 0, 0, 0.0);
+  cube.add(Metric::kLateSender, 0, 1, 0.0);
+  StringTable names;
+  names.intern("f");
+  const std::string s = renderCube(cube, names, 4);
+  EXPECT_NE(s.find("[..]"), std::string::npos) << s;
+}
+
+TEST(Analyzer, EmptyTraceYieldsEmptyCube) {
+  const SeverityCube cube = analyze(SegmentedTrace{});
+  EXPECT_EQ(cube.numRanks(), 0);
+  EXPECT_TRUE(cube.cells().empty());
+  EXPECT_EQ(cube.dominantWait().callsite, kInvalidName);
+}
+
+TEST(Report, CubeRowsAreOrderedAndCapped) {
+  const TwoRankTrace t = lateSenderTrace(false);
+  const SeverityCube cube = analyze(t.st);
+  const auto all = cubeReportRows(cube, t.names, 0);
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_GE(all[i - 1].totalUs, all[i].totalUs);
+  const auto top1 = cubeReportRows(cube, t.names, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].totalUs, all[0].totalUs);
+  EXPECT_TRUE(cubeReportRows(SeverityCube(0), t.names, 12).empty());
+}
+
+TEST(Report, DeltaRowsAlignByNameAndFlagWaitRegressions) {
+  // Two runs interning names in opposite orders: the delta must align
+  // MPI_Recv with MPI_Recv by name, not by NameId.
+  StringTable namesA, namesB;
+  const NameId recvA = namesA.intern("MPI_Recv");
+  const NameId workA = namesA.intern("do_work");
+  const NameId workB = namesB.intern("do_work");
+  const NameId recvB = namesB.intern("MPI_Recv");
+  SeverityCube a(2), b(2);
+  a.add(Metric::kLateSender, recvA, 0, 10000.0);
+  a.add(Metric::kExecutionTime, workA, 0, 50000.0);
+  b.add(Metric::kLateSender, recvB, 0, 40000.0);  // 4x worse: regression
+  b.add(Metric::kExecutionTime, workB, 0, 90000.0);  // grows, but never flagged
+  const auto rows = deltaReportRows(a, namesA, b, namesB, {0.25, 1000.0});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].callsite, "do_work");  // biggest |delta| first
+  EXPECT_FALSE(rows[0].regression);
+  EXPECT_EQ(rows[1].callsite, "MPI_Recv");
+  EXPECT_EQ(rows[1].metric, Metric::kLateSender);
+  EXPECT_DOUBLE_EQ(rows[1].baselineUs, 10000.0);
+  EXPECT_DOUBLE_EQ(rows[1].candidateUs, 40000.0);
+  EXPECT_TRUE(rows[1].regression);
+}
+
+TEST(Report, DeltaRowsDropInsignificantCellsAndRejectRankMismatch) {
+  StringTable names;
+  const NameId f = names.intern("f");
+  SeverityCube a(2), b(2);
+  a.add(Metric::kLateSender, f, 0, 10.0);
+  b.add(Metric::kLateSender, f, 0, 900.0);  // both below the 1000 µs floor
+  EXPECT_TRUE(deltaReportRows(a, names, b, names).empty());
+  const SeverityCube c(3);
+  EXPECT_THROW(deltaReportRows(a, names, c, names), std::invalid_argument);
+}
+
+TEST(Report, RemapCallsitesRekeysByName) {
+  StringTable from, to;
+  const NameId fFrom = from.intern("f");
+  to.intern("other");
+  SeverityCube cube(2);
+  cube.add(Metric::kLateSender, fFrom, 1, 123.0);
+  const SeverityCube mapped = remapCallsites(cube, from, to);
+  const NameId fTo = to.find("f");
+  ASSERT_NE(fTo, kInvalidName);
+  EXPECT_NE(fTo, fFrom);
+  EXPECT_DOUBLE_EQ(mapped.total(Metric::kLateSender, fTo), 123.0);
+  EXPECT_DOUBLE_EQ(mapped.profile(Metric::kLateSender, fTo)[1], 123.0);
 }
 
 }  // namespace

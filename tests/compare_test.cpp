@@ -1,6 +1,12 @@
 // Tests for the trend-retention comparator: each guideline triggers the
-// documented verdict.
+// documented verdict, plus the edge-case hardening (rank-count validation,
+// degenerate-correlation guards, verdict-name round trip).
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/compare.hpp"
 
@@ -147,6 +153,79 @@ TEST(Compare, VerdictNames) {
   EXPECT_STREQ(verdictName(Verdict::kRetained), "retained");
   EXPECT_STREQ(verdictName(Verdict::kDegraded), "degraded");
   EXPECT_STREQ(verdictName(Verdict::kLost), "lost");
+}
+
+TEST(Compare, VerdictNameRoundTrips) {
+  for (const Verdict v : {Verdict::kRetained, Verdict::kDegraded, Verdict::kLost})
+    EXPECT_EQ(verdictFromName(verdictName(v)), v);
+  EXPECT_THROW(verdictFromName("unknown"), std::invalid_argument);
+  EXPECT_THROW(verdictFromName(""), std::invalid_argument);
+  EXPECT_THROW(verdictFromName("Retained"), std::invalid_argument);
+}
+
+TEST(Compare, RejectsMismatchedRankCounts) {
+  // Cubes built from different traces: comparing their per-rank profiles
+  // would walk vectors of different lengths. Must refuse, naming both
+  // counts.
+  const SeverityCube full = baseCube();  // 4 ranks
+  SeverityCube red(3);
+  red.add(Metric::kLateSender, 1, 1, 500000.0);
+  try {
+    compareTrends(full, red);
+    FAIL() << "compareTrends accepted mismatched rank counts";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find('4'), std::string::npos) << msg;
+    EXPECT_NE(msg.find('3'), std::string::npos) << msg;
+  }
+}
+
+TEST(Compare, SingleRankProfilesCompareFinite) {
+  // n = 1: stddev is defined as 0, so CV pins both profiles as flat. The
+  // comparison must stay finite and retained, never NaN.
+  SeverityCube full(1), red(1);
+  full.add(Metric::kLateSender, 1, 0, 2000000.0);
+  red.add(Metric::kLateSender, 1, 0, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_TRUE(std::isfinite(c.correlation));
+  EXPECT_DOUBLE_EQ(c.correlation, 1.0);
+  EXPECT_EQ(c.verdict, Verdict::kRetained);
+}
+
+TEST(Compare, NearCutoffVarianceYieldsFiniteCorrelationInRange) {
+  // Reduced profile with relative variance just above the 1e-9 CV cutoff:
+  // the correlation must come out finite and inside [-1, 1] so the
+  // correlationMin comparison is meaningful.
+  SeverityCube full = baseCube();
+  SeverityCube red(4);
+  red.add(Metric::kLateSender, 1, 0, 1000000.0);
+  red.add(Metric::kLateSender, 1, 1, 1000000.01);
+  red.add(Metric::kLateSender, 1, 2, 1000000.0);
+  red.add(Metric::kLateSender, 1, 3, 1000000.01);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_TRUE(std::isfinite(c.correlation));
+  EXPECT_GE(c.correlation, -1.0);
+  EXPECT_LE(c.correlation, 1.0);
+}
+
+TEST(Compare, DegenerateProfileValuesNeverYieldNanCorrelation) {
+  // A pathological cube (NaN severity injected directly) must not leak NaN
+  // into the correlation: NaN compares false against correlationMin, which
+  // would silently skip the disparity guideline. The guard maps it to 0.0 —
+  // "shape lost" — so the shaped full profile triggers the disparity check.
+  const SeverityCube full = baseCube();
+  SeverityCube red(4);
+  red.add(Metric::kLateSender, 1, 0, 0.0);
+  red.add(Metric::kLateSender, 1, 1, std::numeric_limits<double>::quiet_NaN());
+  red.add(Metric::kLateSender, 1, 2, 0.0);
+  red.add(Metric::kLateSender, 1, 3, 500000.0);
+  for (int r = 0; r < 4; ++r) red.add(Metric::kExecutionTime, 0, r, 2000000.0);
+  const TrendComparison c = compareTrends(full, red);
+  EXPECT_TRUE(std::isfinite(c.correlation)) << c.correlation;
+  EXPECT_DOUBLE_EQ(c.correlation, 0.0);
+  EXPECT_TRUE(c.disparityLost);
+  EXPECT_EQ(c.verdict, Verdict::kLost);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tests for aggregate function profiles and the profile-distortion measure.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/profile.hpp"
 #include "core/methods.hpp"
 #include "core/reconstruct.hpp"
@@ -119,6 +121,53 @@ TEST(Profile, RenderMentionsTopFunction) {
   const std::string s = renderProfile(p, names, 3);
   EXPECT_NE(s.find("f"), std::string::npos);
   EXPECT_NE(s.find("count"), std::string::npos);
+}
+
+// ---- adversarial inputs: empty and degenerate traces must produce empty
+// (not crashing, not NaN) profiles through every entry point.
+
+TEST(Profile, EmptyTraceProfileIsEmptyAndRenderable) {
+  const Profile p = Profile::fromTrace(SegmentedTrace{});
+  EXPECT_TRUE(p.keys().empty());
+  EXPECT_DOUBLE_EQ(p.grandTotalUs(), 0.0);
+  // stats() of an absent cell is the defaulted zero struct, with a defined
+  // mean.
+  EXPECT_EQ(p.stats(0, 0).count, 0u);
+  EXPECT_DOUBLE_EQ(p.stats(0, 0).meanUs(), 0.0);
+  StringTable names;
+  const std::string s = renderProfile(p, names, 10);
+  EXPECT_NE(s.find("count"), std::string::npos);  // header renders, no rows
+}
+
+TEST(Profile, CompareAgainstEmptyOriginalIsFiniteAndNoiseFree) {
+  StringTable names;
+  const Profile empty = Profile::fromTrace(SegmentedTrace{});
+  const Profile real = Profile::fromTrace(twoRankTrace(names, 100, 300));
+  // Both directions: nothing to compare yields zero distortion; cells that
+  // exist only on one side stay below the floor guard instead of dividing
+  // by zero.
+  const ProfileDistortion none = compareProfiles(empty, empty);
+  EXPECT_DOUBLE_EQ(none.maxTotalRelError, 0.0);
+  EXPECT_DOUBLE_EQ(none.grandTotalRelError, 0.0);
+  EXPECT_TRUE(none.countsPreserved);
+  const ProfileDistortion d = compareProfiles(real, empty);
+  EXPECT_TRUE(std::isfinite(d.maxTotalRelError));
+  EXPECT_TRUE(std::isfinite(d.meanTotalRelError));
+  EXPECT_TRUE(std::isfinite(d.grandTotalRelError));
+  EXPECT_FALSE(d.countsPreserved);
+}
+
+TEST(Profile, ZeroDurationEventsKeepFiniteStats) {
+  StringTable names;
+  const SegmentedTrace st = twoRankTrace(names, 0, 0);
+  const Profile p = Profile::fromTrace(st);
+  const NameId f = names.find("f");
+  EXPECT_EQ(p.stats(f, 0).count, 4u);
+  EXPECT_DOUBLE_EQ(p.stats(f, 0).totalUs, 0.0);
+  EXPECT_DOUBLE_EQ(p.stats(f, 0).meanUs(), 0.0);
+  const ProfileDistortion d = compareProfiles(p, p);
+  EXPECT_DOUBLE_EQ(d.maxTotalRelError, 0.0);
+  EXPECT_TRUE(d.countsPreserved);
 }
 
 }  // namespace

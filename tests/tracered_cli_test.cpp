@@ -45,7 +45,7 @@ std::string tmpPath(const std::string& name) { return ::testing::TempDir() + nam
 TEST(TraceredCli, HelpListsEverySubcommandAndIsStable) {
   const CliResult help = runCli("--help");
   EXPECT_EQ(help.exitCode, 0);
-  for (const char* cmd : {"generate", "reduce", "info", "convert", "eval"})
+  for (const char* cmd : {"generate", "reduce", "info", "convert", "analyze", "diff", "eval"})
     EXPECT_NE(help.output.find(cmd), std::string::npos) << cmd;
   EXPECT_EQ(runCli("--help").output, help.output);  // deterministic
 
@@ -190,6 +190,11 @@ TEST(TraceredCli, ExitCodesDistinguishUsageFromRuntimeErrors) {
   EXPECT_EQ(badCmd.exitCode, 2);
   EXPECT_NE(badCmd.output.find("did you mean 'reduce'"), std::string::npos);
 
+  const CliResult analyseTypo = runCli("analyse foo.trf");
+  EXPECT_EQ(analyseTypo.exitCode, 2);
+  EXPECT_NE(analyseTypo.output.find("did you mean 'analyze'"), std::string::npos)
+      << analyseTypo.output;
+
   const CliResult badFlag = runCli("reduce foo.trf --confg avgWave");
   EXPECT_EQ(badFlag.exitCode, 2);
   EXPECT_NE(badFlag.output.find("did you mean --config"), std::string::npos);
@@ -256,7 +261,8 @@ TEST(TraceredCli, VersionFlagPrintsTheSameLineEverywhere) {
   const CliResult top = runCli("--version");
   EXPECT_EQ(top.exitCode, 0);
   EXPECT_EQ(top.output, expected);
-  for (const char* sub : {"generate", "reduce", "info", "convert", "eval", "serve"}) {
+  for (const char* sub :
+       {"generate", "reduce", "info", "convert", "analyze", "diff", "eval", "serve"}) {
     const CliResult r = runCli(std::string(sub) + " --version");
     EXPECT_EQ(r.exitCode, 0) << sub;
     EXPECT_EQ(r.output, expected) << sub;

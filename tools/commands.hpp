@@ -1,4 +1,4 @@
-// The six tracered subcommands plus the small helpers they share.
+// The eight tracered subcommands plus the small helpers they share.
 //
 // Each commands_*.cpp defines one CliCommand factory: flag metadata (which
 // doubles as the known-flag set for did-you-mean typo reports) plus the
@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <string>
 
+#include "trace/segment.hpp"
+#include "trace/string_table.hpp"
 #include "trace/trace_file.hpp"
 #include "util/cli.hpp"
 
@@ -20,8 +22,24 @@ CliCommand makeGenerateCommand();
 CliCommand makeReduceCommand();
 CliCommand makeInfoCommand();
 CliCommand makeConvertCommand();
+CliCommand makeAnalyzeCommand();
+CliCommand makeDiffCommand();
 CliCommand makeEvalCommand();
 CliCommand makeServeCommand();
+
+/// Any on-disk trace, brought to its segmented view: full traces (TRF1 /
+/// text) are segmented directly, reduced (TRR1) and cross-rank merged
+/// (TRM1) files are reconstructed first (Sec. 4.3.3). One loader shared by
+/// analyze/diff/eval, so every analysis entry point reads every format.
+struct LoadedSegments {
+  TraceFileFormat format = TraceFileFormat::kFullBinary;
+  StringTable names;        ///< The file's interned name table.
+  SegmentedTrace segmented;
+  std::size_t canonicalBytes = 0;  ///< Serialized binary size of the input.
+};
+
+/// Reads `path` (format auto-detected) into its segmented view.
+LoadedSegments loadSegments(const std::string& path);
 
 /// Positional argument `index`, or UsageError naming the missing operand.
 std::string requirePositional(const CliArgs& args, std::size_t index, const char* what);

@@ -4,6 +4,11 @@
 
 #include "commands.hpp"
 
+#include "core/cross_rank.hpp"
+#include "core/reconstruct.hpp"
+#include "trace/segmenter.hpp"
+#include "trace/trace_io.hpp"
+
 namespace tracered::tools {
 
 std::string requirePositional(const CliArgs& args, std::size_t index, const char* what) {
@@ -22,6 +27,37 @@ TraceFileFormat parseFormatFlag(const std::string& value) {
   if (value == "binary") return TraceFileFormat::kFullBinary;
   if (value == "text") return TraceFileFormat::kText;
   throw UsageError("bad --format '" + value + "' (expected 'binary' or 'text')");
+}
+
+LoadedSegments loadSegments(const std::string& path) {
+  LoadedSegments out;
+  out.format = detectTraceFile(path);
+  switch (out.format) {
+    case TraceFileFormat::kReducedBinary: {
+      const ReducedTrace reduced = deserializeReducedTrace(readFile(path));
+      out.names = reduced.names;
+      out.canonicalBytes = reducedTraceSize(reduced);
+      out.segmented = core::reconstruct(reduced);
+      break;
+    }
+    case TraceFileFormat::kMergedBinary: {
+      const MergedReducedTrace merged = deserializeMergedTrace(readFile(path));
+      out.names = merged.names;
+      out.canonicalBytes = mergedTraceSize(merged);
+      out.segmented = core::reconstructMerged(merged);
+      break;
+    }
+    case TraceFileFormat::kFullBinary:
+    case TraceFileFormat::kText: {
+      TraceFileReader reader(path);
+      const Trace trace = reader.readAll();
+      out.names = trace.names();
+      out.canonicalBytes = fullTraceSize(trace);
+      out.segmented = segmentTrace(trace);
+      break;
+    }
+  }
+  return out;
 }
 
 std::size_t fileSizeBytes(const std::string& path) {

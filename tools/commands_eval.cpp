@@ -3,19 +3,21 @@
 // and retention of performance trends, as a table or one JSON object.
 //
 // The first operand is the original full trace; the second is either a
-// reduced (TRR1) file produced from it — the usual case — or another full
-// trace that stands for an approximation (e.g. the output of
-// `convert --reconstruct`), which gets the size/distance/trend criteria but
-// no matching stats (a full trace records no match table).
+// reduced (TRR1) file produced from it — the usual case — or any other
+// trace the shared loader reads: a cross-rank merged TRM1 file
+// (reconstructed before scoring) or another full trace that stands for an
+// approximation (e.g. the output of `convert --reconstruct`). The non-TRR1
+// inputs get the size/distance/trend criteria but no matching stats (only
+// TRR1 records a match table).
 #include <cstdio>
 #include <string>
 
 #include "commands.hpp"
 
+#include "analysis/report.hpp"
 #include "analysis/severity.hpp"
 #include "core/reconstruct.hpp"
 #include "eval/evaluation.hpp"
-#include "trace/segmenter.hpp"
 #include "trace/trace_io.hpp"
 #include "util/table.hpp"
 
@@ -42,18 +44,16 @@ int runEval(const CliArgs& args) {
                                  percentile);
     haveMatching = true;
   } else {
-    TraceFileReader candidateReader(candidatePath);
-    const Trace candidate = candidateReader.readAll();
-    const SegmentedTrace candidateSeg = segmentTrace(candidate);
+    const LoadedSegments candidate = loadSegments(candidatePath);
     ev.fullBytes = prepared.fullBytes;
-    ev.reducedBytes = fullTraceSize(candidate);
+    ev.reducedBytes = candidate.canonicalBytes;
     ev.filePct = 100.0 * static_cast<double>(ev.reducedBytes) /
                  static_cast<double>(ev.fullBytes);
-    ev.totalSegments = candidateSeg.totalSegments();
+    ev.totalSegments = candidate.segmented.totalSegments();
     ev.storedSegments = ev.totalSegments;
     ev.approxDistanceUs =
-        eval::approximationDistance(prepared.segmented, candidateSeg, percentile);
-    ev.reducedCube = analysis::analyze(candidateSeg);
+        eval::approximationDistance(prepared.segmented, candidate.segmented, percentile);
+    ev.reducedCube = analysis::analyze(candidate.segmented);
     ev.trends = analysis::compareTrends(prepared.fullCube, ev.reducedCube);
   }
 
@@ -91,13 +91,8 @@ int runEval(const CliArgs& args) {
     t.row({"segments", std::to_string(ev.totalSegments)});
   }
   t.row({"p" + fmtF(percentile, 0) + " |Δt|", fmtF(ev.approxDistanceUs, 1) + " µs"});
-  t.row({"trend verdict", analysis::verdictName(ev.trends.verdict)});
-  t.row({"  reason", ev.trends.reason});
-  t.row({"  dominant diagnosis", std::string(analysis::metricName(ev.trends.dominantMetric)) +
-                                     " @ " + callsite});
-  t.row({"  severity full/reduced", fmtF(ev.trends.fullTotal / 1e6, 3) + " s / " +
-                                        fmtF(ev.trends.reducedTotal / 1e6, 3) + " s"});
-  t.row({"  profile correlation", fmtF(ev.trends.correlation, 3)});
+  for (const auto& [k, v] : analysis::trendReportRows(ev.trends, prepared.trace.names()))
+    t.row({k, v});
   std::printf("%s", t.str().c_str());
   return 0;
 }

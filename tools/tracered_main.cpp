@@ -3,6 +3,9 @@
 //   tracered generate NtoN_32 --out app.trf      # eval/ workload -> file
 //   tracered reduce app.trf --config avgWave@0.2 --streaming --out app.trr
 //   tracered info app.trr
+//   tracered analyze app.trr                     # severity-cube diagnosis
+//   tracered diff app.trf app.trr                # quality gate, exit 1 on lost
+//   tracered diff run_a.trf run_b.trf            # regression gate
 //   tracered eval app.trf app.trr --json         # Sec. 4.3 criteria
 //   tracered convert app.trr --reconstruct --out approx.trf
 //   tracered serve --listen unix:/tmp/tracered.sock   # ingest daemon
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   app.add(tools::makeReduceCommand());
   app.add(tools::makeInfoCommand());
   app.add(tools::makeConvertCommand());
+  app.add(tools::makeAnalyzeCommand());
+  app.add(tools::makeDiffCommand());
   app.add(tools::makeEvalCommand());
   app.add(tools::makeServeCommand());
   return app.main(argc, argv);
